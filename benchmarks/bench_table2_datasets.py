@@ -1,0 +1,47 @@
+"""Table 2 — dataset statistics.
+
+Prints, for every registry dataset, the paper's published statistics next to
+the statistics of the synthetic stand-in actually used by this benchmark
+suite (scaled down; see DESIGN.md for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.datasets import available_datasets, dataset_spec
+from repro.graphs.stats import compute_stats
+
+from helpers import BENCH_SCALE, load_bench_graph, one_shot
+
+
+def _collect_rows() -> list[dict]:
+    rows = []
+    for name in available_datasets():
+        spec = dataset_spec(name)
+        graph = load_bench_graph(name, scale=BENCH_SCALE)
+        stats = compute_stats(graph, seed=0)
+        rows.append(
+            {
+                "dataset": spec.name,
+                "paper n": spec.paper_nodes,
+                "paper m": spec.paper_edges,
+                "paper avg deg": spec.paper_avg_degree,
+                "paper 90% diam": spec.paper_diameter,
+                "synth n": stats.nodes,
+                "synth m": stats.edges,
+                "synth avg deg": round(stats.average_degree, 2),
+                "synth 90% diam": round(stats.effective_diameter, 1),
+            }
+        )
+    return rows
+
+
+def test_table2_dataset_statistics(benchmark, reporter):
+    rows = one_shot(benchmark, _collect_rows)
+    reporter("Table 2 — dataset statistics (paper vs synthetic stand-in)",
+             format_table(rows))
+    # Sanity: the relative density ordering of the paper must be preserved.
+    by_name = {row["dataset"]: row for row in rows}
+    assert by_name["hepph"]["synth avg deg"] > by_name["nethept"]["synth avg deg"]
+    assert by_name["orkut"]["synth avg deg"] > by_name["youtube"]["synth avg deg"]
+    assert all(row["synth 90% diam"] <= 12 for row in rows)

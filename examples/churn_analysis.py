@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Customer-churn retention campaign (the paper's Sec. 4.1.2 case study).
+
+A telecom provider knows which customers have churned and wants to pick a
+small set of customers to target with a retention campaign so that the
+*effective opinion* about staying (positive = loyal, negative = about to
+churn) spreads as widely as possible through the customer similarity network.
+
+Pipeline (identical to the paper's, on synthetic records):
+
+1. generate customer profiles with churn labels (``repro.datasets.pakdd``);
+2. build the attribute-similarity graph — similar customers are connected and
+   the similarity becomes the influence probability;
+3. run label propagation from the known churners/non-churners; the converged
+   value at each node is its opinion (affinity towards churn);
+4. solve the MEO problem with OSIM and compare against opinion-oblivious
+   targeting.
+
+Run with::
+
+    python examples/churn_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.algorithms import EaSyIMSelector, HighDegreeSelector, OSIMSelector
+from repro.bench.reporting import format_table
+from repro.datasets import generate_customer_records
+from repro.diffusion import MonteCarloEngine
+from repro.opinion import ChurnAnalysis
+
+CUSTOMERS = 400
+BUDGET = 20
+SIMULATIONS = 300
+SEED = 19
+
+
+def main() -> None:
+    print("Generating synthetic customer records "
+          f"({CUSTOMERS} customers, balanced churners/non-churners)...")
+    records = generate_customer_records(customers=CUSTOMERS, churn_fraction=0.5, seed=SEED)
+
+    print("Building the similarity graph and propagating churn labels...")
+    analysis = ChurnAnalysis(similarity_threshold=0.85, max_neighbors=20, seed=SEED)
+    graph = analysis.build_opinion_graph(
+        records.attributes, records.churn_labels(), labelled_fraction=0.5
+    )
+    opinions = np.array([graph.opinion(v) for v in graph.nodes()])
+    print(f"  customer graph: {graph.number_of_nodes} nodes, "
+          f"{graph.number_of_edges} edges")
+    print(f"  propagated opinions: mean={opinions.mean():+.3f}, "
+          f"{(opinions < 0).sum()} customers lean towards churning\n")
+
+    print(f"Selecting k={BUDGET} retention targets...")
+    strategies = {
+        "OSIM (opinion-aware, OI model)": OSIMSelector(max_path_length=3, seed=0),
+        "EaSyIM (ignores opinions)": EaSyIMSelector(max_path_length=3, seed=0),
+        "High degree": HighDegreeSelector(),
+    }
+    engine = MonteCarloEngine(graph, "oi-ic", simulations=SIMULATIONS, seed=2)
+    rows = []
+    for label, selector in strategies.items():
+        selection = selector.select(graph, BUDGET)
+        estimate = engine.estimate(selection.seeds)
+        seed_opinions = [graph.opinion(s) for s in selection.seeds]
+        rows.append(
+            {
+                "strategy": label,
+                "effective opinion spread": round(estimate.effective_opinion_spread, 2),
+                "customers reached": round(estimate.spread, 1),
+                "avg seed opinion": round(float(np.mean(seed_opinions)), 2),
+                "selection time (s)": round(selection.runtime_seconds, 3),
+            }
+        )
+    print(format_table(rows, title="Retention campaign outcomes (OI model)"))
+    print("\nThe opinion-aware selection prefers well-connected customers whose "
+          "neighbourhood still leans positive, where a retention message can "
+          "prevent cascades of churn — the paper's MEO formulation of the task.")
+
+
+if __name__ == "__main__":
+    main()

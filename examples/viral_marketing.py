@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Viral-marketing scenario: choosing campaign seeds that maximise *positive* buzz.
+
+This is the scenario of the paper's introduction (Example 1): a company wants
+to market a new product on a social network.  Users hold prior opinions about
+the brand (estimated from their reaction to earlier products) and pairs of
+users agree or disagree with each other at different rates (interaction).
+
+The script:
+
+1. builds a Twitter-like synthetic network and annotates opinions (skewed:
+   a loyal fan base, a vocal group of detractors, a large neutral majority)
+   and interactions;
+2. selects campaign seeds with four strategies — OSIM (opinion-aware),
+   EaSyIM (opinion-oblivious), high-degree and random;
+3. evaluates every strategy under the OI model, reporting the number of users
+   reached, the positive and negative opinion mass, and the effective opinion
+   spread (the paper's MEO objective).
+
+Run with::
+
+    python examples/viral_marketing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.algorithms import EaSyIMSelector, HighDegreeSelector, OSIMSelector, RandomSelector
+from repro.diffusion import MonteCarloEngine
+
+BUDGET = 15
+SIMULATIONS = 400
+SEED = 11
+
+
+def build_campaign_graph() -> repro.DiGraph:
+    """A Twitter-like graph with a fan/detractor/neutral opinion structure."""
+    graph = repro.load_dataset("twitter", scale=0.4, seed=SEED)
+    rng = np.random.default_rng(SEED)
+    nodes = list(graph.nodes())
+    roles = rng.choice(["fan", "detractor", "neutral"], size=len(nodes), p=[0.2, 0.15, 0.65])
+    for node, role in zip(nodes, roles):
+        if role == "fan":
+            opinion = rng.uniform(0.5, 1.0)
+        elif role == "detractor":
+            opinion = rng.uniform(-1.0, -0.4)
+        else:
+            opinion = rng.uniform(-0.2, 0.3)
+        graph.set_opinion(node, float(opinion))
+    # Interactions: people broadly agree with accounts they follow, but not always.
+    repro.annotate_interactions(graph, scheme="agreeable", seed=SEED)
+    return graph
+
+
+def evaluate_strategy(graph: repro.DiGraph, label: str, seeds: list) -> dict:
+    engine = MonteCarloEngine(graph, "oi-ic", simulations=SIMULATIONS, seed=3)
+    estimate = engine.estimate(seeds)
+    return {
+        "strategy": label,
+        "users reached": round(estimate.spread, 1),
+        "opinion spread": round(estimate.opinion_spread, 2),
+        "effective opinion spread": round(estimate.effective_opinion_spread, 2),
+    }
+
+
+def main() -> None:
+    graph = build_campaign_graph()
+    print(f"Campaign network: {graph.number_of_nodes} users, "
+          f"{graph.number_of_edges} follower links, marketing budget k={BUDGET}\n")
+
+    strategies = {
+        "OSIM (opinion-aware)": OSIMSelector(max_path_length=3, seed=0),
+        "EaSyIM (opinion-oblivious)": EaSyIMSelector(max_path_length=3, seed=0),
+        "High degree": HighDegreeSelector(),
+        "Random": RandomSelector(seed=0),
+    }
+    rows = []
+    for label, selector in strategies.items():
+        selection = selector.select(graph, BUDGET)
+        rows.append(evaluate_strategy(graph, label, selection.seeds))
+
+    from repro.bench.reporting import format_table
+
+    print(format_table(rows, title="Campaign outcome under the OI model "
+                                   "(higher effective opinion spread = better)"))
+    best = max(rows, key=lambda r: r["effective opinion spread"])
+    print(f"\nBest strategy: {best['strategy']}")
+    print("The opinion-aware selection avoids influencers whose audience would "
+          "mostly react negatively, trading a little raw reach for much better "
+          "effective (signed) opinion spread.")
+
+
+if __name__ == "__main__":
+    main()

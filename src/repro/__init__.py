@@ -1,0 +1,114 @@
+"""repro — a reproduction of "Holistic Influence Maximization: Combining
+Scalability and Efficiency with Opinion-Aware Models" (SIGMOD 2016).
+
+The package provides:
+
+* the **OI** (Opinion-cum-Interaction) diffusion model plus the classical
+  IC/WC/LT models and the prior opinion-aware baselines IC-N and OC;
+* the **MEO** problem (maximise the effective opinion spread) and the
+  classical IM problem behind a single :class:`InfluenceMaximizer` facade;
+* the paper's **EaSyIM** and **OSIM** algorithms alongside a full suite of
+  competitors (GREEDY/CELF/CELF++, TIM+/IMM, IRIE, SIMPATH, degree and
+  PageRank heuristics);
+* synthetic stand-ins for the paper's datasets and case studies (Table 2
+  graphs, the Twitter topic pipeline, the PAKDD churn pipeline);
+* a benchmark harness regenerating every table and figure of the evaluation.
+
+Quickstart::
+
+    import repro
+
+    graph = repro.load_dataset("nethept", seed=7)
+    repro.annotate_graph(graph, opinion="normal", interaction="uniform", seed=7)
+
+    problem = repro.MEOProblem(graph, budget=10, model="oi-ic", penalty=1.0)
+    result = repro.InfluenceMaximizer(problem, algorithm="osim").run()
+    print(result.seeds, result.expected_spread)
+"""
+
+from repro.exceptions import (
+    AlgorithmError,
+    BudgetError,
+    ConfigurationError,
+    DatasetError,
+    GraphError,
+    MissingAnnotationError,
+    ReproError,
+)
+from repro.graphs import (
+    CompiledGraph,
+    DiGraph,
+    compute_stats,
+    figure1_example_graph,
+    from_edge_list,
+    make_bidirectional,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.diffusion import (
+    MonteCarloEngine,
+    available_models,
+    expected_effective_opinion_spread,
+    expected_opinion_spread,
+    expected_spread,
+    get_model,
+)
+from repro.algorithms import available_algorithms, get_algorithm
+from repro.opinion import annotate_interactions, annotate_opinions
+from repro.opinion.annotate import annotate_graph
+from repro.datasets import available_datasets, load_dataset
+from repro.core import (
+    IMProblem,
+    InfluenceMaximizer,
+    MaximizationResult,
+    MEOProblem,
+    compare_seed_sets,
+    evaluate_seed_prefixes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "ConfigurationError",
+    "MissingAnnotationError",
+    "DatasetError",
+    "AlgorithmError",
+    "BudgetError",
+    # graphs
+    "DiGraph",
+    "CompiledGraph",
+    "from_edge_list",
+    "make_bidirectional",
+    "read_edge_list",
+    "write_edge_list",
+    "compute_stats",
+    "figure1_example_graph",
+    # diffusion
+    "get_model",
+    "available_models",
+    "MonteCarloEngine",
+    "expected_spread",
+    "expected_opinion_spread",
+    "expected_effective_opinion_spread",
+    # algorithms
+    "get_algorithm",
+    "available_algorithms",
+    # opinion annotation
+    "annotate_opinions",
+    "annotate_interactions",
+    "annotate_graph",
+    # datasets
+    "load_dataset",
+    "available_datasets",
+    # core API
+    "IMProblem",
+    "MEOProblem",
+    "InfluenceMaximizer",
+    "MaximizationResult",
+    "evaluate_seed_prefixes",
+    "compare_seed_sets",
+]

@@ -1,0 +1,68 @@
+"""Seed-selection algorithms.
+
+The paper's contributions:
+
+* :class:`EaSyIMSelector` — opinion-oblivious score assignment (Algorithm 4)
+  inside the ScoreGREEDY driver (Algorithm 1).
+* :class:`OSIMSelector` — opinion-aware score assignment (Algorithm 5).
+* :class:`PathUnionSelector` — the PU matrix algorithm (Algorithm 3), exact
+  but cubic; kept for validation and ablation.
+
+Baselines and competitors used in the evaluation:
+
+* :class:`GreedySelector`, :class:`CELFSelector`, :class:`CELFPlusPlusSelector`
+  — the simulation-based greedy family (Kempe et al. / Goyal et al.).
+* :class:`ModifiedGreedySelector` — greedy on the effective opinion spread
+  (Appendix A), the quality baseline for MEO.
+* :class:`TIMPlusSelector`, :class:`IMMSelector` — RIS / sketch algorithms.
+* :class:`IRIESelector`, :class:`SimPathSelector` — state-of-the-art heuristics
+  for IC/WC and LT respectively.
+* :class:`HighDegreeSelector`, :class:`SingleDiscountSelector`,
+  :class:`DegreeDiscountSelector`, :class:`PageRankSelector`,
+  :class:`RandomSelector` — standard structural baselines.
+"""
+
+from repro.algorithms.base import SeedSelectionResult, SeedSelector
+from repro.algorithms.random_seeds import RandomSelector
+from repro.algorithms.degree import (
+    DegreeDiscountSelector,
+    HighDegreeSelector,
+    SingleDiscountSelector,
+)
+from repro.algorithms.pagerank import PageRankSelector
+from repro.algorithms.greedy import CELFPlusPlusSelector, CELFSelector, GreedySelector
+from repro.algorithms.modified_greedy import ModifiedGreedySelector
+from repro.algorithms.easyim import EaSyIMSelector, easyim_scores
+from repro.algorithms.osim import OSIMSelector, osim_scores
+from repro.algorithms.path_union import PathUnionSelector, path_union_scores
+from repro.algorithms.irie import IRIESelector
+from repro.algorithms.simpath import SimPathSelector
+from repro.algorithms.tim import TIMPlusSelector
+from repro.algorithms.imm import IMMSelector
+from repro.algorithms.registry import available_algorithms, get_algorithm
+
+__all__ = [
+    "SeedSelector",
+    "SeedSelectionResult",
+    "RandomSelector",
+    "HighDegreeSelector",
+    "SingleDiscountSelector",
+    "DegreeDiscountSelector",
+    "PageRankSelector",
+    "GreedySelector",
+    "CELFSelector",
+    "CELFPlusPlusSelector",
+    "ModifiedGreedySelector",
+    "EaSyIMSelector",
+    "easyim_scores",
+    "OSIMSelector",
+    "osim_scores",
+    "PathUnionSelector",
+    "path_union_scores",
+    "IRIESelector",
+    "SimPathSelector",
+    "TIMPlusSelector",
+    "IMMSelector",
+    "available_algorithms",
+    "get_algorithm",
+]

@@ -1,0 +1,100 @@
+"""Degree-based heuristics: HighDegree, SingleDiscount and DegreeDiscount.
+
+DegreeDiscount (Chen, Wang and Yang, KDD 2009) is derived for the IC model
+with a uniform probability ``p``; SingleDiscount simply subtracts one from the
+degree of the neighbours of already selected seeds and works for any model.
+They are classic cheap baselines for the opinion-oblivious IM problem.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.algorithms.base import SeedSelector, top_k_by_score
+from repro.graphs.digraph import CompiledGraph, DEFAULT_INFLUENCE_PROBABILITY
+
+
+class HighDegreeSelector(SeedSelector):
+    """Select the ``k`` nodes with the largest out-degree."""
+
+    name = "high-degree"
+
+    def _select(self, graph: CompiledGraph, budget: int) -> tuple[list[int], dict]:
+        degrees = np.diff(graph.out_indptr)
+        seeds = top_k_by_score(degrees.tolist(), budget)
+        scores = {i: float(degrees[i]) for i in seeds}
+        return seeds, {"scores": scores}
+
+
+class SingleDiscountSelector(SeedSelector):
+    """Degree heuristic discounting one unit per already-covered neighbour."""
+
+    name = "single-discount"
+
+    def _select(self, graph: CompiledGraph, budget: int) -> tuple[list[int], dict]:
+        n = graph.number_of_nodes
+        effective = np.diff(graph.out_indptr).astype(np.float64)
+        selected: list[int] = []
+        selected_set: set[int] = set()
+        # Max-heap of (-degree, node); stale entries are skipped lazily.
+        heap = [(-effective[i], i) for i in range(n)]
+        heapq.heapify(heap)
+        while len(selected) < budget and heap:
+            negative_degree, node = heapq.heappop(heap)
+            if node in selected_set:
+                continue
+            if -negative_degree != effective[node]:
+                heapq.heappush(heap, (-effective[node], node))
+                continue
+            selected.append(node)
+            selected_set.add(node)
+            for neighbor in graph.out_neighbors(node):
+                neighbor = int(neighbor)
+                if neighbor not in selected_set:
+                    effective[neighbor] -= 1.0
+                    heapq.heappush(heap, (-effective[neighbor], neighbor))
+        return selected, {}
+
+
+class DegreeDiscountSelector(SeedSelector):
+    """DegreeDiscountIC for the uniform-probability IC model.
+
+    The discounted degree of a node ``v`` with ``t_v`` selected in-neighbours
+    is ``d_v - 2 t_v - (d_v - t_v) t_v p``.
+    """
+
+    name = "degree-discount"
+
+    def __init__(self, probability: float = DEFAULT_INFLUENCE_PROBABILITY) -> None:
+        self.probability = float(probability)
+
+    def _select(self, graph: CompiledGraph, budget: int) -> tuple[list[int], dict]:
+        n = graph.number_of_nodes
+        degrees = np.diff(graph.out_indptr).astype(np.float64)
+        discounted = degrees.copy()
+        selected_neighbors = np.zeros(n, dtype=np.float64)
+        selected: list[int] = []
+        selected_set: set[int] = set()
+        heap = [(-discounted[i], i) for i in range(n)]
+        heapq.heapify(heap)
+        while len(selected) < budget and heap:
+            negative_score, node = heapq.heappop(heap)
+            if node in selected_set:
+                continue
+            if -negative_score != discounted[node]:
+                heapq.heappush(heap, (-discounted[node], node))
+                continue
+            selected.append(node)
+            selected_set.add(node)
+            for neighbor in graph.out_neighbors(node):
+                neighbor = int(neighbor)
+                if neighbor in selected_set:
+                    continue
+                selected_neighbors[neighbor] += 1.0
+                t = selected_neighbors[neighbor]
+                d = degrees[neighbor]
+                discounted[neighbor] = d - 2.0 * t - (d - t) * t * self.probability
+                heapq.heappush(heap, (-discounted[neighbor], neighbor))
+        return selected, {}

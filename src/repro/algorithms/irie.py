@@ -1,0 +1,124 @@
+"""IRIE — Influence Ranking / Influence Estimation (Jung, Heo and Chen, ICDM 2012).
+
+IRIE combines a global influence *ranking* with an influence *estimation*
+step that discounts the rank of nodes likely to be activated by the seeds
+already chosen:
+
+* **Ranking (IR)** — iterate
+  ``r(u) = (1 - AP(u)) * (1 + alpha * sum_{v in Out(u)} p_(u,v) * r(v))``
+  where ``AP(u)`` is the estimated probability that ``u`` is already activated
+  by the current seed set.
+* **Estimation (IE)** — after selecting a seed ``s``, propagate activation
+  probabilities one/two hops from ``s`` to update ``AP``.
+
+The paper uses IRIE as the state-of-the-art heuristic competitor under the IC
+and WC models (Figs. 6j, 7e, 7h) with ``alpha = 0.7`` and ``theta = 1/320``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import SeedSelector
+from repro.algorithms.easyim import edge_sources, resolve_edge_probabilities
+from repro.exceptions import ConfigurationError
+from repro.graphs.digraph import CompiledGraph
+
+
+class IRIESelector(SeedSelector):
+    """IRIE seed selection for the IC/WC models."""
+
+    name = "irie"
+
+    def __init__(
+        self,
+        alpha: float = 0.7,
+        theta: float = 1.0 / 320.0,
+        iterations: int = 20,
+        weighting: str = "ic",
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must lie in (0, 1], got {alpha}")
+        if iterations < 1:
+            raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+        self.alpha = alpha
+        self.theta = theta
+        self.iterations = iterations
+        self.weighting = weighting
+
+    # ------------------------------------------------------------ selection
+
+    def _select(self, graph: CompiledGraph, budget: int) -> tuple[list[int], dict]:
+        n = graph.number_of_nodes
+        probabilities = resolve_edge_probabilities(graph, self.weighting)
+        sources = edge_sources(graph)
+        targets = graph.out_indices
+
+        activation_probability = np.zeros(n, dtype=np.float64)
+        selected: list[int] = []
+        scores_out: dict[int, float] = {}
+        for _ in range(budget):
+            ranks = self._rank(
+                n, sources, targets, probabilities, activation_probability
+            )
+            if selected:
+                ranks[np.asarray(selected, dtype=np.int64)] = -np.inf
+            best = int(np.argmax(ranks))
+            selected.append(best)
+            scores_out[best] = float(ranks[best])
+            self._update_activation_probability(
+                graph, best, activation_probability, probabilities
+            )
+        return selected, {"scores": scores_out}
+
+    # ------------------------------------------------------------- internals
+
+    def _rank(
+        self,
+        n: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        probabilities: np.ndarray,
+        activation_probability: np.ndarray,
+    ) -> np.ndarray:
+        """Iterate the IR linear system to (near) fixed point."""
+        ranks = np.ones(n, dtype=np.float64)
+        damping = 1.0 - activation_probability
+        for _ in range(self.iterations):
+            neighbour_sum = np.bincount(
+                sources, weights=probabilities * ranks[targets], minlength=n
+            )
+            new_ranks = damping * (1.0 + self.alpha * neighbour_sum)
+            if np.max(np.abs(new_ranks - ranks)) < self.theta:
+                ranks = new_ranks
+                break
+            ranks = new_ranks
+        return ranks
+
+    def _update_activation_probability(
+        self,
+        graph: CompiledGraph,
+        seed: int,
+        activation_probability: np.ndarray,
+        probabilities: np.ndarray,
+    ) -> None:
+        """Two-hop influence-estimation update of AP after picking ``seed``."""
+        activation_probability[seed] = 1.0
+        start, end = graph.out_indptr[seed], graph.out_indptr[seed + 1]
+        first_hop = graph.out_indices[start:end]
+        first_probability = probabilities[start:end]
+        for neighbor, probability in zip(first_hop, first_probability):
+            neighbor = int(neighbor)
+            activation_probability[neighbor] = 1.0 - (
+                (1.0 - activation_probability[neighbor]) * (1.0 - probability)
+            )
+            # Second hop, damped by the first-hop probability.
+            n_start, n_end = graph.out_indptr[neighbor], graph.out_indptr[neighbor + 1]
+            second_hop = graph.out_indices[n_start:n_end]
+            second_probability = probabilities[n_start:n_end] * probability
+            for node, value in zip(second_hop, second_probability):
+                node = int(node)
+                activation_probability[node] = 1.0 - (
+                    (1.0 - activation_probability[node]) * (1.0 - value)
+                )
+        np.clip(activation_probability, 0.0, 1.0, out=activation_probability)

@@ -1,0 +1,39 @@
+"""Modified-GREEDY (Appendix A of the paper).
+
+The quality baseline for the MEO problem: at every step add the node with the
+largest marginal gain in *effective opinion spread* ``Gamma^o_lambda``.
+Because the effective opinion spread is neither monotone nor submodular
+(Lemma 2), the (1 - 1/e) guarantee does not apply — the paper uses this
+algorithm purely as the best-effort quality reference that OSIM is compared
+against in Figs. 5f/5g/5h and 7b.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.algorithms.greedy import GreedySelector
+from repro.diffusion.base import DiffusionModel
+from repro.utils.rng import RandomState
+
+
+class ModifiedGreedySelector(GreedySelector):
+    """Greedy maximisation of the effective opinion spread under an opinion-aware model."""
+
+    name = "modified-greedy"
+    opinion_aware = True
+
+    def __init__(
+        self,
+        model: Union[str, DiffusionModel] = "oi-ic",
+        simulations: int = 200,
+        penalty: float = 1.0,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(
+            model=model,
+            simulations=simulations,
+            objective="effective-opinion",
+            penalty=penalty,
+            seed=seed,
+        )

@@ -1,0 +1,74 @@
+"""PageRank-based seed selection baseline.
+
+Influence flows along out-edges, so the ranking is computed on the *reverse*
+graph (a node is important when many influenceable nodes point to it through
+reversed edges) — the convention used in the IM literature when PageRank is
+used as a seeding heuristic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import SeedSelector, top_k_by_score
+from repro.exceptions import ConfigurationError
+from repro.graphs.digraph import CompiledGraph
+
+
+def pagerank_scores(
+    graph: CompiledGraph,
+    damping: float = 0.85,
+    iterations: int = 100,
+    tolerance: float = 1e-10,
+    reverse: bool = True,
+) -> np.ndarray:
+    """Power-iteration PageRank on the compiled graph.
+
+    With ``reverse=True`` (default) the walk follows in-edges, which ranks
+    nodes by their ability to *reach* others along forward edges.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ConfigurationError(f"damping must lie in (0, 1), got {damping}")
+    n = graph.number_of_nodes
+    if n == 0:
+        return np.zeros(0)
+    ranks = np.full(n, 1.0 / n)
+    # Walking the reverse graph means distributing rank along in-edges,
+    # i.e. rank flows from v to u for each edge (u -> v).
+    if reverse:
+        indptr, indices = graph.in_indptr, graph.in_indices
+    else:
+        indptr, indices = graph.out_indptr, graph.out_indices
+    # Degree of the *source* of each traversed edge in the walk direction.
+    walk_out_degree = np.diff(indptr).astype(np.float64)
+    for _ in range(iterations):
+        contributions = np.zeros(n)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share = np.where(walk_out_degree > 0, ranks / walk_out_degree, 0.0)
+        for node in range(n):
+            start, end = indptr[node], indptr[node + 1]
+            if start == end:
+                continue
+            contributions[indices[start:end]] += share[node]
+        dangling = ranks[walk_out_degree == 0].sum()
+        new_ranks = (1.0 - damping) / n + damping * (contributions + dangling / n)
+        if np.abs(new_ranks - ranks).sum() < tolerance:
+            ranks = new_ranks
+            break
+        ranks = new_ranks
+    return ranks
+
+
+class PageRankSelector(SeedSelector):
+    """Select the ``k`` nodes with the highest (reverse) PageRank."""
+
+    name = "pagerank"
+
+    def __init__(self, damping: float = 0.85, iterations: int = 100) -> None:
+        self.damping = damping
+        self.iterations = iterations
+
+    def _select(self, graph: CompiledGraph, budget: int) -> tuple[list[int], dict]:
+        ranks = pagerank_scores(graph, damping=self.damping, iterations=self.iterations)
+        seeds = top_k_by_score(ranks.tolist(), budget)
+        return seeds, {"scores": {i: float(ranks[i]) for i in seeds}}

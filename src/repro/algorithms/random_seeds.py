@@ -1,0 +1,20 @@
+"""Uniform-random seed selection — the weakest baseline."""
+
+from __future__ import annotations
+
+from repro.algorithms.base import SeedSelector
+from repro.graphs.digraph import CompiledGraph
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class RandomSelector(SeedSelector):
+    """Pick ``k`` distinct nodes uniformly at random."""
+
+    name = "random"
+
+    def __init__(self, seed: RandomState = None) -> None:
+        self._rng = ensure_rng(seed)
+
+    def _select(self, graph: CompiledGraph, budget: int) -> tuple[list[int], dict]:
+        chosen = self._rng.choice(graph.number_of_nodes, size=budget, replace=False)
+        return [int(i) for i in chosen], {}

@@ -1,0 +1,68 @@
+"""Name-based lookup of seed-selection algorithms.
+
+Mirrors :mod:`repro.diffusion.registry` for algorithms: the public API, the
+CLI and the benchmark harness ask for algorithms by short string identifiers
+and pass configuration as keyword arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.algorithms.base import SeedSelector
+from repro.algorithms.degree import (
+    DegreeDiscountSelector,
+    HighDegreeSelector,
+    SingleDiscountSelector,
+)
+from repro.algorithms.easyim import EaSyIMSelector
+from repro.algorithms.greedy import CELFPlusPlusSelector, CELFSelector, GreedySelector
+from repro.algorithms.imm import IMMSelector
+from repro.algorithms.irie import IRIESelector
+from repro.algorithms.modified_greedy import ModifiedGreedySelector
+from repro.algorithms.osim import OSIMSelector
+from repro.algorithms.pagerank import PageRankSelector
+from repro.algorithms.path_union import PathUnionSelector
+from repro.algorithms.random_seeds import RandomSelector
+from repro.algorithms.simpath import SimPathSelector
+from repro.algorithms.tim import TIMPlusSelector
+from repro.exceptions import ConfigurationError
+
+_REGISTRY: Dict[str, Type[SeedSelector]] = {
+    "random": RandomSelector,
+    "high-degree": HighDegreeSelector,
+    "single-discount": SingleDiscountSelector,
+    "degree-discount": DegreeDiscountSelector,
+    "pagerank": PageRankSelector,
+    "greedy": GreedySelector,
+    "celf": CELFSelector,
+    "celf++": CELFPlusPlusSelector,
+    "modified-greedy": ModifiedGreedySelector,
+    "easyim": EaSyIMSelector,
+    "osim": OSIMSelector,
+    "path-union": PathUnionSelector,
+    "irie": IRIESelector,
+    "simpath": SimPathSelector,
+    "tim+": TIMPlusSelector,
+    "imm": IMMSelector,
+}
+
+#: Algorithms that optimise an opinion-aware objective out of the box.
+OPINION_AWARE_ALGORITHMS = frozenset({"osim", "modified-greedy"})
+
+
+def available_algorithms() -> list[str]:
+    """Sorted list of the registered algorithm identifiers."""
+    return sorted(_REGISTRY)
+
+
+def get_algorithm(name: str, **kwargs: object) -> SeedSelector:
+    """Instantiate the algorithm registered under ``name`` with ``kwargs``."""
+    if isinstance(name, SeedSelector):
+        return name
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        )
+    return _REGISTRY[key](**kwargs)  # type: ignore[arg-type]

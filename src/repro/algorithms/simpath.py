@@ -1,0 +1,152 @@
+"""SIMPATH — simple-path enumeration heuristic for the LT model
+(Goyal, Lu and Lakshmanan, ICDM 2011).
+
+Under the LT / live-edge model the spread of a seed set equals the sum, over
+nodes ``v``, of the total probability of simple paths from the seed set to
+``v``.  SIMPATH estimates that quantity by enumerating simple paths whose
+probability stays above a pruning threshold ``eta``, and selects seeds with a
+CELF-style lazy greedy loop on the path-based spread estimates.
+
+The paper runs SIMPATH with ``eta = 1e-3`` and look-ahead ``l = 4`` as the
+state-of-the-art LT heuristic competitor (Figs. 6j, 7d, 7i).  This
+implementation keeps the core backtracking enumeration and lazy-forward
+selection; the vertex-cover optimisation of the original paper is an
+engineering refinement that does not change the output and is omitted.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.algorithms.base import SeedSelector
+from repro.exceptions import ConfigurationError
+from repro.graphs.digraph import CompiledGraph
+
+
+class SimPathSelector(SeedSelector):
+    """SIMPATH seed selection for the LT model."""
+
+    name = "simpath"
+
+    def __init__(
+        self,
+        eta: float = 1e-3,
+        max_path_length: int = 4,
+    ) -> None:
+        if not 0.0 < eta < 1.0:
+            raise ConfigurationError(f"eta must lie in (0, 1), got {eta}")
+        if max_path_length < 1:
+            raise ConfigurationError(
+                f"max_path_length must be >= 1, got {max_path_length}"
+            )
+        self.eta = eta
+        self.max_path_length = max_path_length
+
+    # ------------------------------------------------------------ selection
+
+    def _select(self, graph: CompiledGraph, budget: int) -> tuple[list[int], dict]:
+        weights = self._lt_weights(graph)
+        n = graph.number_of_nodes
+
+        # CELF-style lazy greedy over the path-based spread estimate.
+        heap: list[tuple[float, int, int]] = []
+        for node in range(n):
+            spread = self._simpath_spread(graph, weights, [node], frozenset())
+            heapq.heappush(heap, (-spread, node, 0))
+
+        selected: list[int] = []
+        blocked: set[int] = set()
+        current_value = 0.0
+        current_round = 0
+        evaluations = n
+        while len(selected) < budget and heap:
+            negative_spread, node, evaluated_round = heapq.heappop(heap)
+            if node in blocked:
+                continue
+            if evaluated_round == current_round:
+                selected.append(node)
+                blocked.add(node)
+                current_value += -negative_spread
+                current_round += 1
+            else:
+                gain = (
+                    self._simpath_spread(graph, weights, selected + [node], frozenset())
+                    - current_value
+                )
+                evaluations += 1
+                heapq.heappush(heap, (-gain, node, current_round))
+        return selected, {
+            "objective_value": current_value,
+            "spread_evaluations": evaluations,
+        }
+
+    # ------------------------------------------------------------- internals
+
+    def _lt_weights(self, graph: CompiledGraph) -> np.ndarray:
+        """Out-edge aligned LT weights (annotated or 1/in-degree)."""
+        if np.any(graph.out_weight > 0):
+            return graph.out_weight
+        in_degrees = np.diff(graph.in_indptr).astype(np.float64)
+        safe = np.where(in_degrees > 0, in_degrees, 1.0)
+        return 1.0 / safe[graph.out_indices]
+
+    def _simpath_spread(
+        self,
+        graph: CompiledGraph,
+        weights: np.ndarray,
+        seeds: list[int],
+        removed: frozenset[int],
+    ) -> float:
+        """Spread of ``seeds`` on the graph with ``removed`` nodes deleted."""
+        total = 0.0
+        other_seeds = set(seeds)
+        for seed in seeds:
+            # Paths from one seed must not wander through other seeds
+            # (those nodes are already active and contribute separately).
+            exclude = (other_seeds - {seed}) | set(removed)
+            total += self._backtrack(graph, weights, seed, exclude)
+        return total
+
+    def _backtrack(
+        self,
+        graph: CompiledGraph,
+        weights: np.ndarray,
+        source: int,
+        exclude: set[int],
+    ) -> float:
+        """Enumerate simple paths from ``source`` with probability >= eta.
+
+        Returns ``1 + sum over reached nodes of the path probabilities``
+        (the ``1`` accounts for the source itself, matching the SIMPATH
+        spread definition).
+        """
+        spread = 1.0
+        on_path = {source}
+        # Stack holds (node, path_probability, next_edge_offset).
+        stack: list[list] = [[source, 1.0, int(graph.out_indptr[source])]]
+        while stack:
+            node, path_probability, offset = stack[-1]
+            end = int(graph.out_indptr[node + 1])
+            advanced = False
+            while offset < end:
+                target = int(graph.out_indices[offset])
+                weight = float(weights[offset])
+                offset += 1
+                if target in on_path or target in exclude:
+                    continue
+                new_probability = path_probability * weight
+                if new_probability < self.eta:
+                    continue
+                stack[-1][2] = offset
+                spread += new_probability
+                if len(stack) <= self.max_path_length:
+                    on_path.add(target)
+                    stack.append([target, new_probability, int(graph.out_indptr[target])])
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+                on_path.discard(node)
+        return spread

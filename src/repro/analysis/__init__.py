@@ -1,0 +1,39 @@
+"""Theoretical-analysis helpers: submodularity checks, error bounds, reductions."""
+
+from repro.analysis.submodularity import (
+    check_monotonicity,
+    check_submodularity,
+    PropertyCheckResult,
+)
+from repro.analysis.error_bounds import (
+    cycle_error_bound,
+    dag_error_bound,
+    order_preservation_condition,
+)
+from repro.analysis.reductions import (
+    SetCoverInstance,
+    decide_set_cover_via_meo,
+    greedy_set_cover,
+)
+from repro.analysis.paths import (
+    count_paths_up_to_length,
+    exact_path_score,
+    opinion_path_spread,
+    enumerate_simple_paths,
+)
+
+__all__ = [
+    "check_monotonicity",
+    "check_submodularity",
+    "PropertyCheckResult",
+    "cycle_error_bound",
+    "dag_error_bound",
+    "order_preservation_condition",
+    "SetCoverInstance",
+    "decide_set_cover_via_meo",
+    "greedy_set_cover",
+    "count_paths_up_to_length",
+    "exact_path_score",
+    "opinion_path_spread",
+    "enumerate_simple_paths",
+]

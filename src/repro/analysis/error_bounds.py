@@ -1,0 +1,93 @@
+"""Closed-form error bounds from Sec. 3.4 of the paper.
+
+These are the analytical quantities of Lemmas 5-7 and Theorem 2.  They are not
+used by the algorithms themselves; the tests and the ablation benchmark use
+them to sanity-check that the errors EaSyIM actually incurs on random DAGs and
+cyclic graphs stay below the paper's bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def dag_error_bound(
+    edge_probabilities_into_v: Sequence[float],
+    path_weight_sum: float,
+) -> float:
+    """Lemma 5/6 combined worst-case relative error for DAGs.
+
+    ``edge_probabilities_into_v`` are the probabilities ``p_(w,v)`` of the
+    edges entering the scored node ``v``; ``path_weight_sum`` is
+    ``A_1 = sum over u->w paths of the product of their edge probabilities``.
+    The combined EaSyIM error is bounded by
+    ``sum_w (2 p_(w,v) - 1) * A_1``.
+    """
+    probabilities = np.asarray(edge_probabilities_into_v, dtype=np.float64)
+    if np.any((probabilities < 0) | (probabilities > 1)):
+        raise ConfigurationError("edge probabilities must lie in [0, 1]")
+    if path_weight_sum < 0:
+        raise ConfigurationError("path_weight_sum must be >= 0")
+    return float(np.sum(2.0 * probabilities - 1.0) * path_weight_sum)
+
+
+def cycle_error_bound(cycle_weights_and_lengths: Sequence[tuple[float, int]]) -> float:
+    """Lemma 7 worst-case relative error due to cycles.
+
+    Each entry is ``(product of edge probabilities along the cycle, cycle
+    length)``; the bound is ``sum over cycles of weight / length``.
+    """
+    total = 0.0
+    for weight, length in cycle_weights_and_lengths:
+        if weight < 0 or length < 1:
+            raise ConfigurationError(
+                f"invalid cycle entry (weight={weight}, length={length})"
+            )
+        total += weight / length
+    return total
+
+
+def expected_error_growth(
+    average_degree: float, probability: float, max_length: int
+) -> float:
+    """The discussion-section estimate ``A_1 = sum_{i=2}^{l} (eta p)^{i-1} p``.
+
+    This is the quantity the paper argues grows sub-logarithmically when
+    ``eta * p < 1`` (Sec. 3.4.2); the ablation benchmark prints it alongside
+    the empirically measured EaSyIM error.
+    """
+    if average_degree < 0 or not 0 <= probability <= 1 or max_length < 1:
+        raise ConfigurationError("invalid parameters for expected_error_growth")
+    total = 0.0
+    for i in range(2, max_length + 1):
+        total += (average_degree * probability) ** (i - 1) * probability
+    return total
+
+
+def order_preservation_condition(
+    spread_u: float,
+    spread_v: float,
+    error_u: float,
+    error_v: float,
+) -> bool:
+    """Theorem 2: does the approximate scoring preserve ``sigma*(u) > sigma*(v)``?
+
+    Given exact spreads ``sigma*(u) > sigma*(v)`` and the (signed) errors the
+    approximate algorithm introduces, the relative ordering of the approximate
+    spreads is preserved when
+
+    ``error_v / sigma*(v) - error_u / sigma*(u) <= (sigma*(u) - sigma*(v)) / sigma*(v)``.
+    """
+    if spread_u <= spread_v:
+        raise ConfigurationError(
+            "order_preservation_condition expects spread_u > spread_v"
+        )
+    if spread_v <= 0:
+        raise ConfigurationError("spread_v must be positive")
+    left = error_v / spread_v - error_u / spread_u
+    right = (spread_u - spread_v) / spread_v
+    return left <= right

@@ -1,0 +1,134 @@
+"""Exact path-based quantities used to validate the approximate score assignments.
+
+EaSyIM's score of a node is a weighted count of bounded-length walks; on trees
+and DAGs that count coincides with simple paths and the score is exact
+(Conclusions 2-3 of the paper).  The functions here compute the exact
+quantities by explicit enumeration so the tests can compare them against the
+linear-time DP implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.graphs.digraph import DiGraph, Node
+
+
+def enumerate_simple_paths(
+    graph: DiGraph, source: Node, max_length: int
+) -> Iterator[List[Node]]:
+    """Yield every simple path of length 1..max_length starting at ``source``.
+
+    Paths are node lists including the source; length is the number of edges.
+    Exponential in the worst case — only use on small graphs (tests).
+    """
+    path: List[Node] = [source]
+    on_path = {source}
+
+    def recurse(node: Node, remaining: int) -> Iterator[List[Node]]:
+        if remaining == 0:
+            return
+        for neighbor in graph.successors(node):
+            if neighbor in on_path:
+                continue
+            path.append(neighbor)
+            on_path.add(neighbor)
+            yield list(path)
+            yield from recurse(neighbor, remaining - 1)
+            on_path.discard(neighbor)
+            path.pop()
+
+    yield from recurse(source, max_length)
+
+
+def count_paths_up_to_length(graph: DiGraph, source: Node, max_length: int) -> int:
+    """Number of simple paths of length at most ``max_length`` from ``source``."""
+    return sum(1 for _ in enumerate_simple_paths(graph, source, max_length))
+
+
+def path_probability(graph: DiGraph, path: Sequence[Node]) -> float:
+    """Product of influence probabilities along a node path."""
+    probability = 1.0
+    for source, target in zip(path, path[1:]):
+        probability *= graph.edge_data(source, target).probability
+    return probability
+
+
+def exact_path_score(graph: DiGraph, source: Node, max_length: int) -> float:
+    """The exact EaSyIM-style score: sum of path probabilities over simple paths.
+
+    On trees and DAGs (where walks of bounded length are simple paths) this
+    equals ``Delta_l(source)`` as computed by
+    :func:`repro.algorithms.easyim.easyim_scores`.
+    """
+    return sum(
+        path_probability(graph, path)
+        for path in enumerate_simple_paths(graph, source, max_length)
+    )
+
+
+def opinion_path_spread(
+    graph: DiGraph, path_nodes: Sequence[Node], penalty: float = 1.0
+) -> float:
+    """Closed-form expected effective opinion spread along a single path (Lemma 8).
+
+    ``path_nodes`` is ``u_0, u_1, ..., u_l``; the seed is ``u_0``.  The
+    formula sums, over every prefix endpoint ``u_i``, the path activation
+    probability times the expected final opinion of ``u_i`` obtained by
+    unrolling the OI mixing recurrence:
+
+    ``o'_{u_i} = o_{u_i}/2 + psi_{i-1} o'_{u_{i-1}}`` with
+    ``psi_j = (2 phi_(u_j, u_{j+1}) - 1) / 2`` and ``o'_{u_0} = o_{u_0}``.
+
+    With ``penalty = 1`` the effective opinion spread equals the plain sum of
+    expected final opinions, which is the quantity Lemma 8 states.
+    """
+    if len(path_nodes) < 1:
+        return 0.0
+    opinions = [graph.opinion(node) or 0.0 for node in path_nodes]
+    psi: List[float] = []
+    probabilities: List[float] = []
+    for source, target in zip(path_nodes, path_nodes[1:]):
+        data = graph.edge_data(source, target)
+        psi.append((2.0 * data.interaction - 1.0) / 2.0)
+        probabilities.append(data.probability)
+
+    expected_opinion = opinions[0]
+    activation_probability = 1.0
+    total = 0.0
+    for i in range(1, len(path_nodes)):
+        activation_probability *= probabilities[i - 1]
+        expected_opinion = opinions[i] / 2.0 + psi[i - 1] * expected_opinion
+        contribution = expected_opinion
+        if penalty != 1.0 and contribution < 0:
+            contribution *= penalty
+        total += activation_probability * contribution
+    return total
+
+
+def all_pairs_bounded_walk_weights(
+    graph: DiGraph, max_length: int
+) -> Dict[Tuple[Node, Node], float]:
+    """Sum of walk probabilities between all node pairs for walks of length <= l.
+
+    Exact dynamic programme over walk length (walks, not simple paths); used
+    to characterise the cycle error EaSyIM incurs on cyclic graphs.
+    """
+    nodes = list(graph.nodes())
+    # weights[(u, v)] for walks of exactly the current length.
+    current: Dict[Tuple[Node, Node], float] = {}
+    for source, target, data in graph.edges():
+        current[(source, target)] = current.get((source, target), 0.0) + data.probability
+    totals: Dict[Tuple[Node, Node], float] = dict(current)
+    for _ in range(max_length - 1):
+        next_step: Dict[Tuple[Node, Node], float] = {}
+        for (source, middle), weight in current.items():
+            for target, data in graph.out_edges(middle):
+                key = (source, target)
+                next_step[key] = next_step.get(key, 0.0) + weight * data.probability
+        for key, weight in next_step.items():
+            totals[key] = totals.get(key, 0.0) + weight
+        current = next_step
+        if not current:
+            break
+    return totals

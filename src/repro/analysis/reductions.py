@@ -1,0 +1,132 @@
+"""The SET-COVER → MEO reduction (Theorem 1) made executable.
+
+Theorem 1 proves MEO inapproximable by showing that a constant-factor
+approximation would decide SET-COVER: on the Figure 3b gadget the maximum
+effective opinion spread of ``k`` seeds is strictly positive iff a set cover
+of size ``k`` exists, and at most zero otherwise.
+
+:func:`decide_set_cover_via_meo` runs that decision procedure (with exact
+deterministic evaluation of the gadget, which has all probabilities equal to
+1), and :func:`greedy_set_cover` provides the classic ``ln n`` baseline the
+tests compare against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.special import set_cover_reduction_graph
+from repro.graphs.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A SET-COVER instance: universe ``1..n`` and a family of subsets."""
+
+    universe_size: int
+    subsets: tuple
+
+    def __post_init__(self) -> None:
+        if self.universe_size < 1:
+            raise ConfigurationError("universe_size must be >= 1")
+        for subset in self.subsets:
+            for element in subset:
+                if not 1 <= element <= self.universe_size:
+                    raise ConfigurationError(
+                        f"element {element} outside universe 1..{self.universe_size}"
+                    )
+
+    @staticmethod
+    def create(universe_size: int, subsets: Sequence[Sequence[int]]) -> "SetCoverInstance":
+        return SetCoverInstance(
+            universe_size=universe_size,
+            subsets=tuple(frozenset(s) for s in subsets),
+        )
+
+    def is_cover(self, chosen: Sequence[int]) -> bool:
+        """``chosen`` are subset indices (0-based); do they cover the universe?"""
+        covered: set[int] = set()
+        for index in chosen:
+            covered |= set(self.subsets[index])
+        return len(covered) == self.universe_size
+
+    def has_cover_of_size(self, k: int) -> bool:
+        """Exact (exponential) decision: does a cover of size ``k`` exist?"""
+        indices = range(len(self.subsets))
+        return any(self.is_cover(choice) for choice in itertools.combinations(indices, k))
+
+
+def greedy_set_cover(instance: SetCoverInstance) -> List[int]:
+    """Classic greedy cover (picks the subset covering the most new elements)."""
+    uncovered = set(range(1, instance.universe_size + 1))
+    chosen: List[int] = []
+    while uncovered:
+        best_index: Optional[int] = None
+        best_gain = 0
+        for index, subset in enumerate(instance.subsets):
+            gain = len(uncovered & set(subset))
+            if gain > best_gain:
+                best_gain = gain
+                best_index = index
+        if best_index is None:
+            break  # some element is not coverable
+        chosen.append(best_index)
+        uncovered -= set(instance.subsets[best_index])
+    return chosen
+
+
+def reduction_graph(instance: SetCoverInstance) -> DiGraph:
+    """The Figure 3b gadget for ``instance``."""
+    return set_cover_reduction_graph(
+        instance.universe_size, [sorted(s) for s in instance.subsets]
+    )
+
+
+def meo_spread_of_subset_seeds(
+    instance: SetCoverInstance, chosen_subsets: Sequence[int]
+) -> float:
+    """Exact effective opinion spread (lambda=1) of seeding the chosen subset nodes.
+
+    All gadget probabilities and interactions are 1, so the cascade and the
+    final opinions are deterministic and can be computed in closed form: a
+    covered element node ``y_j`` ends with opinion ``1/(2n)``, every third-layer
+    node ``z_t`` with 0, and the sink with ``-1/2 + 1/(2n)``... provided at
+    least one element is covered (otherwise nothing activates).
+    """
+    n = instance.universe_size
+    covered: set[int] = set()
+    for index in chosen_subsets:
+        covered |= set(instance.subsets[index])
+    if not covered:
+        return 0.0
+    m = len(instance.subsets)
+    z_count = m + n - 2
+    # y-layer: each covered element has opinion (0 + 1/n)/2 = 1/(2n).
+    y_contribution = len(covered) * (1.0 / (2.0 * n))
+    # z-layer: each z averages its own opinion (-1/(2n)) with the mean of its
+    # active in-neighbours (all covered y's, each 1/(2n)) -> 0.
+    z_opinion = (-1.0 / (2.0 * n) + 1.0 / (2.0 * n)) / 2.0
+    z_contribution = z_count * z_opinion
+    # sink: averages its own opinion (-1 + 1/n) with the mean of the z's (0).
+    sink_opinion = (-1.0 + 1.0 / n + z_opinion) / 2.0
+    return y_contribution + z_contribution + sink_opinion
+
+
+def decide_set_cover_via_meo(instance: SetCoverInstance, k: int) -> bool:
+    """Decide whether a size-``k`` cover exists using the MEO reduction.
+
+    Evaluates the (deterministic) effective opinion spread of every size-``k``
+    choice of first-layer seeds and answers "a cover exists" iff the best
+    spread is strictly positive — exactly the argument of Theorem 1.
+    """
+    if k < 0 or k > len(instance.subsets):
+        raise ConfigurationError(
+            f"k must lie in 0..{len(instance.subsets)}, got {k}"
+        )
+    best = float("-inf")
+    for choice in itertools.combinations(range(len(instance.subsets)), k):
+        best = max(best, meo_spread_of_subset_seeds(instance, choice))
+    return best > 1e-12

@@ -1,0 +1,90 @@
+"""Empirical monotonicity and submodularity checks.
+
+Lemma 2 of the paper proves that the effective opinion spread is neither
+monotone nor submodular by exhibiting the Figure 3a counterexample.  These
+helpers check both properties empirically for *any* set function over a ground
+set of nodes — the tests use them to (a) confirm the opinion-oblivious spread
+passes on small graphs and (b) confirm the counterexample violates both.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+SetFunction = Callable[[frozenset], float]
+
+
+@dataclass
+class PropertyCheckResult:
+    """Outcome of an empirical property check."""
+
+    holds: bool
+    violations: List[Tuple] = field(default_factory=list)
+    checks: int = 0
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_monotonicity(
+    function: SetFunction,
+    ground_set: Sequence,
+    max_set_size: int = 3,
+    tolerance: float = 1e-9,
+    max_violations: int = 10,
+) -> PropertyCheckResult:
+    """Check ``f(S) <= f(S + x)`` over all subsets up to ``max_set_size``."""
+    ground = list(ground_set)
+    violations: List[Tuple] = []
+    checks = 0
+    for size in range(0, max_set_size + 1):
+        for subset in itertools.combinations(ground, size):
+            base = frozenset(subset)
+            base_value = function(base)
+            for element in ground:
+                if element in base:
+                    continue
+                checks += 1
+                extended_value = function(base | {element})
+                if extended_value < base_value - tolerance:
+                    violations.append((base, element, base_value, extended_value))
+                    if len(violations) >= max_violations:
+                        return PropertyCheckResult(False, violations, checks)
+    return PropertyCheckResult(not violations, violations, checks)
+
+
+def check_submodularity(
+    function: SetFunction,
+    ground_set: Sequence,
+    max_set_size: int = 3,
+    tolerance: float = 1e-9,
+    max_violations: int = 10,
+) -> PropertyCheckResult:
+    """Check diminishing returns ``f(S+x)-f(S) >= f(T+x)-f(T)`` for ``S ⊆ T``."""
+    ground = list(ground_set)
+    violations: List[Tuple] = []
+    checks = 0
+    for small_size in range(0, max_set_size):
+        for small in itertools.combinations(ground, small_size):
+            small_set = frozenset(small)
+            small_value = function(small_set)
+            for extra_size in range(1, max_set_size - small_size + 1):
+                remaining = [x for x in ground if x not in small_set]
+                for extra in itertools.combinations(remaining, extra_size):
+                    large_set = small_set | frozenset(extra)
+                    large_value = function(large_set)
+                    for element in ground:
+                        if element in large_set:
+                            continue
+                        checks += 1
+                        small_gain = function(small_set | {element}) - small_value
+                        large_gain = function(large_set | {element}) - large_value
+                        if large_gain > small_gain + tolerance:
+                            violations.append(
+                                (small_set, large_set, element, small_gain, large_gain)
+                            )
+                            if len(violations) >= max_violations:
+                                return PropertyCheckResult(False, violations, checks)
+    return PropertyCheckResult(not violations, violations, checks)

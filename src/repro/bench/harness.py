@@ -1,0 +1,114 @@
+"""Measurement harness shared by every benchmark.
+
+The paper's figures measure three things per algorithm: the quality of the
+selected seeds (spread under a reference model), the running time of seed
+selection, and the memory consumed over and above the graph.  The helpers
+here run one algorithm on one graph and capture all three, and
+:func:`run_k_sweep` evaluates seed prefixes for the "vs #seeds" figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.algorithms.base import SeedSelectionResult, SeedSelector
+from repro.algorithms.registry import get_algorithm
+from repro.core.evaluation import SeedSetEvaluation, evaluate_seed_prefixes
+from repro.diffusion.base import DiffusionModel
+from repro.graphs.digraph import CompiledGraph, DiGraph
+from repro.utils.memory import MemoryTracker
+from repro.utils.rng import RandomState
+from repro.utils.timer import Timer
+
+
+@dataclass
+class AlgorithmRun:
+    """One algorithm executed on one graph: seeds + time + memory."""
+
+    algorithm: str
+    dataset: str
+    budget: int
+    seeds: List[object]
+    runtime_seconds: float
+    peak_memory_mb: float
+    selection: SeedSelectionResult
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """A collection of labelled measurement rows plus optional k-sweep series."""
+
+    experiment: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    series: Dict[str, SeedSetEvaluation] = field(default_factory=dict)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+
+def measure_selection(
+    graph: Union[DiGraph, CompiledGraph],
+    algorithm: Union[str, SeedSelector],
+    budget: int,
+    dataset: str = "",
+    **algorithm_options: object,
+) -> AlgorithmRun:
+    """Run seed selection once, measuring wall-clock time and peak extra memory."""
+    selector = (
+        get_algorithm(algorithm, **algorithm_options)
+        if isinstance(algorithm, str)
+        else algorithm
+    )
+    compiled = graph.compile() if isinstance(graph, DiGraph) else graph
+    timer = Timer()
+    with MemoryTracker() as tracker:
+        with timer:
+            selection = selector.select(compiled, budget)
+    return AlgorithmRun(
+        algorithm=selector.name,
+        dataset=dataset or getattr(graph, "name", ""),
+        budget=budget,
+        seeds=list(selection.seeds),
+        runtime_seconds=timer.elapsed,
+        peak_memory_mb=tracker.peak_mb,
+        selection=selection,
+        metadata=dict(selection.metadata),
+    )
+
+
+def run_k_sweep(
+    graph: Union[DiGraph, CompiledGraph],
+    algorithm: Union[str, SeedSelector],
+    evaluation_model: Union[str, DiffusionModel],
+    seed_counts: Sequence[int],
+    objective: str = "spread",
+    simulations: int = 300,
+    penalty: float = 1.0,
+    dataset: str = "",
+    label: Optional[str] = None,
+    seed: RandomState = 0,
+    **algorithm_options: object,
+) -> tuple[AlgorithmRun, SeedSetEvaluation]:
+    """Select ``max(seed_counts)`` seeds once, then evaluate every prefix.
+
+    Returns the measured run and the k-sweep evaluation series — the data
+    behind one curve of a "spread vs #seeds" figure.
+    """
+    budget = max(seed_counts)
+    run = measure_selection(
+        graph, algorithm, budget, dataset=dataset, **algorithm_options
+    )
+    evaluation = evaluate_seed_prefixes(
+        graph,
+        evaluation_model,
+        run.seeds,
+        seed_counts,
+        objective=objective,
+        simulations=simulations,
+        penalty=penalty,
+        label=label or run.algorithm,
+        seed=seed,
+    )
+    return run, evaluation

@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+Installed as ``repro-im`` (see ``pyproject.toml``) and also runnable as
+``python -m repro.cli``.  Sub-commands:
+
+* ``datasets``   — list the synthetic dataset registry with Table 2 stats.
+* ``select``     — run a seed-selection algorithm on a dataset or edge list.
+* ``evaluate``   — evaluate a given seed set under a diffusion model.
+* ``experiments``— list the per-figure/table experiment index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.algorithms.registry import available_algorithms, get_algorithm
+from repro.bench.experiments import experiment_index_rows
+from repro.bench.reporting import format_table
+from repro.core.evaluation import evaluate_seed_prefixes
+from repro.datasets.registry import available_datasets, dataset_spec, load_dataset
+from repro.diffusion.registry import available_models
+from repro.diffusion.simulation import MonteCarloEngine
+from repro.graphs.io import read_edge_list
+from repro.graphs.stats import compute_stats
+from repro.opinion.annotate import annotate_graph
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-im",
+        description="Opinion-aware influence maximization (EaSyIM / OSIM reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = subparsers.add_parser(
+        "datasets", help="list the synthetic dataset registry"
+    )
+    datasets_parser.add_argument(
+        "--stats", action="store_true", help="also compute stats of the generated graphs"
+    )
+    datasets_parser.add_argument("--scale", type=float, default=1.0)
+    datasets_parser.add_argument("--seed", type=int, default=0)
+
+    select_parser = subparsers.add_parser("select", help="run seed selection")
+    _add_graph_arguments(select_parser)
+    select_parser.add_argument(
+        "--algorithm", default="easyim", choices=available_algorithms()
+    )
+    select_parser.add_argument("--model", default="ic", choices=available_models())
+    select_parser.add_argument("--budget", "-k", type=int, default=10)
+    select_parser.add_argument("--max-path-length", "-l", type=int, default=3)
+    select_parser.add_argument("--simulations", type=int, default=300)
+    select_parser.add_argument("--penalty", type=float, default=1.0)
+    select_parser.add_argument(
+        "--annotate", action="store_true",
+        help="annotate opinions (uniform) and interactions (uniform) before selection",
+    )
+    select_parser.add_argument("--json", action="store_true", help="emit JSON output")
+
+    evaluate_parser = subparsers.add_parser("evaluate", help="evaluate a seed set")
+    _add_graph_arguments(evaluate_parser)
+    evaluate_parser.add_argument("--model", default="ic", choices=available_models())
+    evaluate_parser.add_argument("--seeds", required=True,
+                                 help="comma-separated seed node identifiers")
+    evaluate_parser.add_argument("--simulations", type=int, default=1000)
+    evaluate_parser.add_argument("--penalty", type=float, default=1.0)
+    evaluate_parser.add_argument(
+        "--annotate", action="store_true",
+        help="annotate opinions/interactions before evaluation",
+    )
+    evaluate_parser.add_argument("--json", action="store_true")
+
+    subparsers.add_parser("experiments", help="list the paper experiment index")
+    return parser
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--dataset", choices=available_datasets(),
+                       help="named synthetic dataset")
+    group.add_argument("--edge-list", help="path to an edge-list file")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load_graph(args: argparse.Namespace):
+    if getattr(args, "dataset", None):
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    else:
+        graph = read_edge_list(args.edge_list)
+    if getattr(args, "annotate", False):
+        annotate_graph(graph, opinion="uniform", interaction="uniform", seed=args.seed)
+    return graph
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_datasets():
+        spec = dataset_spec(name)
+        row = {
+            "dataset": name,
+            "paper n": spec.paper_nodes,
+            "paper m": spec.paper_edges,
+            "paper avg deg": spec.paper_avg_degree,
+            "synthetic n": spec.nodes_at_scale(args.scale),
+            "family": spec.family,
+        }
+        if args.stats:
+            graph = load_dataset(name, scale=args.scale, seed=args.seed)
+            stats = compute_stats(graph, seed=args.seed)
+            row["synthetic m"] = stats.edges
+            row["synthetic avg deg"] = round(stats.average_degree, 2)
+            row["synthetic 90% diam"] = round(stats.effective_diameter, 1)
+        rows.append(row)
+    print(format_table(rows, title="Synthetic dataset registry (Table 2 stand-ins)"))
+    return 0
+
+
+def _command_select(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    options: dict = {}
+    if args.algorithm in ("easyim", "osim", "path-union"):
+        options["max_path_length"] = args.max_path_length
+        options["model"] = args.model
+    elif args.algorithm in ("greedy", "celf", "celf++", "modified-greedy"):
+        options["model"] = args.model
+        options["simulations"] = max(50, args.simulations // 5)
+    elif args.algorithm in ("tim+", "imm"):
+        options["model"] = args.model if args.model in ("ic", "wc", "lt") else "ic"
+    selector = get_algorithm(args.algorithm, **options)
+    selection = selector.select(graph, args.budget)
+    engine = MonteCarloEngine(
+        graph, args.model, simulations=args.simulations,
+        penalty=args.penalty, seed=args.seed,
+    )
+    estimate = engine.estimate(selection.seeds)
+    payload = {
+        "algorithm": selection.algorithm,
+        "dataset": graph.name,
+        "budget": args.budget,
+        "seeds": [str(s) for s in selection.seeds],
+        "runtime_seconds": round(selection.runtime_seconds, 4),
+        "expected_spread": round(estimate.spread, 3),
+        "expected_opinion_spread": round(estimate.opinion_spread, 3),
+        "expected_effective_opinion_spread": round(estimate.effective_opinion_spread, 3),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table([payload], title="Seed selection result"))
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    raw_seeds = [token.strip() for token in args.seeds.split(",") if token.strip()]
+    seeds = []
+    for token in raw_seeds:
+        try:
+            node = int(token)
+        except ValueError:
+            node = token
+        seeds.append(node)
+    engine = MonteCarloEngine(
+        graph, args.model, simulations=args.simulations,
+        penalty=args.penalty, seed=args.seed,
+    )
+    estimate = engine.estimate(seeds)
+    payload = {
+        "model": args.model,
+        "seeds": [str(s) for s in seeds],
+        "spread": round(estimate.spread, 3),
+        "opinion_spread": round(estimate.opinion_spread, 3),
+        "effective_opinion_spread": round(estimate.effective_opinion_spread, 3),
+        "simulations": args.simulations,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table([payload], title="Seed set evaluation"))
+    return 0
+
+
+def _command_experiments(_: argparse.Namespace) -> int:
+    print(format_table(experiment_index_rows(), title="Paper experiment index"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "datasets": _command_datasets,
+        "select": _command_select,
+        "evaluate": _command_evaluate,
+        "experiments": _command_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Core public API: problem definitions, the facade, and evaluation helpers."""
+
+from repro.core.problem import IMProblem, MEOProblem
+from repro.core.maximizer import InfluenceMaximizer, MaximizationResult
+from repro.core.evaluation import (
+    compare_seed_sets,
+    evaluate_seed_prefixes,
+    normalized_rmse_curve,
+    SeedSetEvaluation,
+)
+
+__all__ = [
+    "IMProblem",
+    "MEOProblem",
+    "InfluenceMaximizer",
+    "MaximizationResult",
+    "SeedSetEvaluation",
+    "compare_seed_sets",
+    "evaluate_seed_prefixes",
+    "normalized_rmse_curve",
+]

@@ -1,0 +1,137 @@
+"""The :class:`InfluenceMaximizer` facade — the one-stop entry point.
+
+Typical use::
+
+    problem = MEOProblem(graph, budget=50, model="oi-ic", penalty=1.0)
+    result = InfluenceMaximizer(problem, algorithm="osim", max_path_length=3).run()
+    print(result.seeds, result.expected_spread)
+
+The facade wires the problem's model and objective into the chosen algorithm,
+runs seed selection, and (optionally) estimates the achieved spread with the
+Monte-Carlo engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.algorithms.base import SeedSelectionResult, SeedSelector
+from repro.algorithms.registry import get_algorithm
+from repro.core.problem import IMProblem, MEOProblem
+from repro.diffusion.simulation import MonteCarloEngine
+from repro.exceptions import ConfigurationError
+from repro.graphs.digraph import Node
+from repro.utils.rng import RandomState
+
+Problem = Union[IMProblem, MEOProblem]
+
+#: Algorithms whose constructor accepts a diffusion model.
+_MODEL_AWARE_ALGORITHMS = frozenset(
+    {"greedy", "celf", "celf++", "modified-greedy", "easyim", "osim", "path-union"}
+)
+#: Algorithms whose constructor accepts the objective/penalty configuration.
+_OBJECTIVE_AWARE_ALGORITHMS = frozenset({"greedy", "celf", "celf++"})
+
+
+@dataclass
+class MaximizationResult:
+    """Seeds plus their estimated spread under the problem's objective."""
+
+    seeds: List[Node]
+    algorithm: str
+    objective: str
+    expected_spread: Optional[float]
+    selection: SeedSelectionResult
+    estimate: Optional[object] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.seeds)
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+
+class InfluenceMaximizer:
+    """Run a seed-selection algorithm against an IM or MEO problem."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        algorithm: Union[str, SeedSelector] = "easyim",
+        simulations: int = 500,
+        evaluate: bool = True,
+        seed: RandomState = None,
+        **algorithm_options: object,
+    ) -> None:
+        if not isinstance(problem, (IMProblem, MEOProblem)):
+            raise ConfigurationError(
+                "problem must be an IMProblem or MEOProblem, got "
+                f"{type(problem).__name__}"
+            )
+        self.problem = problem
+        self.simulations = simulations
+        self.evaluate = evaluate
+        self.random_state = seed
+        self.algorithm = self._build_algorithm(algorithm, algorithm_options)
+
+    # --------------------------------------------------------------- running
+
+    def run(self) -> MaximizationResult:
+        """Select seeds and (optionally) estimate their expected spread."""
+        compiled = self.problem.compile()
+        selection = self.algorithm.select(compiled, self.problem.budget)
+        estimate = None
+        expected = None
+        if self.evaluate:
+            engine = MonteCarloEngine(
+                compiled,
+                self.problem.model,
+                simulations=self.simulations,
+                penalty=getattr(self.problem, "penalty", 1.0),
+                seed=self.random_state,
+            )
+            estimate = engine.estimate(selection.seeds)
+            expected = estimate.objective(self.problem.objective)
+        return MaximizationResult(
+            seeds=list(selection.seeds),
+            algorithm=selection.algorithm,
+            objective=self.problem.objective,
+            expected_spread=expected,
+            selection=selection,
+            estimate=estimate,
+            metadata={
+                "model": self.problem.model_name,
+                "budget": self.problem.budget,
+                "runtime_seconds": selection.runtime_seconds,
+            },
+        )
+
+    # -------------------------------------------------------------- plumbing
+
+    def _build_algorithm(
+        self, algorithm: Union[str, SeedSelector], options: Dict[str, object]
+    ) -> SeedSelector:
+        if isinstance(algorithm, SeedSelector):
+            if options:
+                raise ConfigurationError(
+                    "algorithm options cannot be combined with a pre-built selector"
+                )
+            return algorithm
+        name = str(algorithm).lower()
+        options = dict(options)
+        if name in _MODEL_AWARE_ALGORITHMS and "model" not in options:
+            options["model"] = self.problem.model
+        if name in _OBJECTIVE_AWARE_ALGORITHMS and "objective" not in options:
+            options["objective"] = self.problem.objective
+        if name in ("greedy", "celf", "celf++", "modified-greedy"):
+            options.setdefault("penalty", getattr(self.problem, "penalty", 1.0))
+        if name == "tim+" or name == "imm":
+            # RIS algorithms only understand the opinion-oblivious first layer.
+            model_name = self.problem.model_name
+            options.setdefault(
+                "model", "lt" if model_name.endswith("lt") else
+                ("wc" if model_name.endswith("wc") else "ic")
+            )
+        return get_algorithm(name, **options)

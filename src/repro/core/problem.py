@@ -1,0 +1,91 @@
+"""Problem definitions: classical IM and the paper's MEO problem.
+
+A *problem* bundles the graph, the diffusion model, the budget and the
+optimisation objective.  The :class:`~repro.core.maximizer.InfluenceMaximizer`
+facade consumes a problem plus an algorithm name and produces seeds and
+spread estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.diffusion.base import DiffusionModel
+from repro.diffusion.registry import OPINION_AWARE_MODELS, get_model
+from repro.exceptions import ConfigurationError, MissingAnnotationError
+from repro.graphs.digraph import CompiledGraph, DiGraph
+from repro.utils.validation import check_budget, check_non_negative
+
+
+@dataclass
+class IMProblem:
+    """The classical influence-maximisation problem (Sec. 2.1).
+
+    Find ``budget`` seeds maximising the expected number of activated nodes
+    ``sigma(S)`` under an opinion-oblivious diffusion model.
+    """
+
+    graph: DiGraph
+    budget: int
+    model: Union[str, DiffusionModel] = "ic"
+
+    #: Objective identifier used by algorithms and the Monte-Carlo engine.
+    objective: str = field(default="spread", init=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.graph, DiGraph):
+            raise ConfigurationError(
+                f"graph must be a DiGraph, got {type(self.graph).__name__}"
+            )
+        check_budget("budget", self.budget, self.graph.number_of_nodes)
+        self.model = get_model(self.model) if isinstance(self.model, str) else self.model
+
+    @property
+    def model_name(self) -> str:
+        return self.model.name
+
+    def compile(self) -> CompiledGraph:
+        """Compile the problem graph for use by algorithms and simulators."""
+        return self.graph.compile()
+
+
+@dataclass
+class MEOProblem:
+    """Maximizing the Effective Opinion (MEO) problem (Problem 1 in the paper).
+
+    Find ``budget`` seeds maximising the expected *effective opinion spread*
+    ``sigma^o_lambda(S)`` under an opinion-aware model (OI by default), where
+    ``penalty`` is the weight ``lambda`` on negative opinion mass.
+    """
+
+    graph: DiGraph
+    budget: int
+    model: Union[str, DiffusionModel] = "oi-ic"
+    penalty: float = 1.0
+
+    objective: str = field(default="effective-opinion", init=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.graph, DiGraph):
+            raise ConfigurationError(
+                f"graph must be a DiGraph, got {type(self.graph).__name__}"
+            )
+        check_budget("budget", self.budget, self.graph.number_of_nodes)
+        check_non_negative("penalty", self.penalty)
+        model = get_model(self.model) if isinstance(self.model, str) else self.model
+        if model.name not in OPINION_AWARE_MODELS and not model.opinion_aware:
+            raise ConfigurationError(
+                f"MEO requires an opinion-aware diffusion model, got {model.name!r}"
+            )
+        if not self.graph.has_opinions():
+            raise MissingAnnotationError("opinion")
+        self.model = model
+
+    @property
+    def model_name(self) -> str:
+        return self.model.name
+
+    def compile(self) -> CompiledGraph:
+        """Compile the problem graph for use by algorithms and simulators."""
+        return self.graph.compile()

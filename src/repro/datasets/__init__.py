@@ -1,0 +1,21 @@
+"""Synthetic stand-ins for the paper's datasets (Table 2, Twitter and PAKDD)."""
+
+from repro.datasets.registry import (
+    DatasetSpec,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+)
+from repro.datasets.tweets import SyntheticTweetCorpus, generate_tweet_corpus
+from repro.datasets.pakdd import CustomerRecords, generate_customer_records
+
+__all__ = [
+    "DatasetSpec",
+    "available_datasets",
+    "dataset_spec",
+    "load_dataset",
+    "SyntheticTweetCorpus",
+    "generate_tweet_corpus",
+    "CustomerRecords",
+    "generate_customer_records",
+]

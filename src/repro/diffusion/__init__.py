@@ -1,0 +1,56 @@
+"""Information-diffusion models and the Monte-Carlo spread estimation engine.
+
+Opinion-oblivious models (first layer):
+
+* :class:`IndependentCascadeModel` — IC with per-edge probabilities.
+* :class:`WeightedCascadeModel` — WC, i.e. IC with ``p = 1/in_degree``.
+* :class:`LinearThresholdModel` — LT with random (or fixed) thresholds.
+* :class:`LiveEdgeModel` — the live-edge formulation equivalent to LT.
+
+Opinion-aware models (second layer on top of IC or LT):
+
+* :class:`OpinionInteractionModel` — the paper's OI model.
+* :class:`ICNModel` — IC-N baseline (Chen et al., SDM 2011).
+* :class:`OCModel` — OC baseline (Zhang et al., ICDCS 2013).
+"""
+
+from repro.diffusion.base import DiffusionModel, DiffusionOutcome
+from repro.diffusion.independent_cascade import IndependentCascadeModel
+from repro.diffusion.weighted_cascade import WeightedCascadeModel
+from repro.diffusion.linear_threshold import LinearThresholdModel
+from repro.diffusion.live_edge import LiveEdgeModel
+from repro.diffusion.opinion_interaction import OpinionInteractionModel
+from repro.diffusion.icn import ICNModel
+from repro.diffusion.oc import OCModel
+from repro.diffusion.registry import available_models, get_model
+from repro.diffusion.simulation import MonteCarloEngine, SpreadEstimate
+from repro.diffusion.spread import (
+    effective_opinion_spread,
+    expected_effective_opinion_spread,
+    expected_opinion_spread,
+    expected_spread,
+    opinion_spread,
+    spread,
+)
+
+__all__ = [
+    "DiffusionModel",
+    "DiffusionOutcome",
+    "IndependentCascadeModel",
+    "WeightedCascadeModel",
+    "LinearThresholdModel",
+    "LiveEdgeModel",
+    "OpinionInteractionModel",
+    "ICNModel",
+    "OCModel",
+    "available_models",
+    "get_model",
+    "MonteCarloEngine",
+    "SpreadEstimate",
+    "spread",
+    "opinion_spread",
+    "effective_opinion_spread",
+    "expected_spread",
+    "expected_opinion_spread",
+    "expected_effective_opinion_spread",
+]

@@ -1,0 +1,125 @@
+"""Diffusion-model interface and the outcome of a single cascade.
+
+A :class:`DiffusionModel` runs one stochastic cascade on a
+:class:`~repro.graphs.digraph.CompiledGraph` from a set of seed node indices
+and returns a :class:`DiffusionOutcome`.  Spread, opinion spread and effective
+opinion spread (Defs. 3, 6 and 7 in the paper) are all derived from the
+outcome, so a single simulation serves every objective.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.graphs.digraph import CompiledGraph
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class DiffusionOutcome:
+    """Result of a single simulated cascade.
+
+    Attributes
+    ----------
+    seeds:
+        The seed node indices the cascade started from.
+    activated:
+        Every activated node index, seeds included, in activation order.
+    final_opinions:
+        Mapping from activated node index to its final opinion ``o'``.
+        Opinion-oblivious models report the node's initial opinion (or ``0``
+        when the graph carries no annotation), which makes the opinion-spread
+        of an IC/LT cascade well defined — that is exactly how the paper
+        evaluates "IC" curves in Figs. 2 and 5.
+    rounds:
+        Number of synchronous diffusion rounds until quiescence.
+    """
+
+    seeds: tuple[int, ...]
+    activated: list[int] = field(default_factory=list)
+    final_opinions: Dict[int, float] = field(default_factory=dict)
+    rounds: int = 0
+
+    @property
+    def seed_set(self) -> frozenset[int]:
+        return frozenset(self.seeds)
+
+    def spread(self) -> float:
+        """Number of activated nodes excluding the seeds (Def. 3)."""
+        return float(len(self.activated) - len(self.seed_set & set(self.activated)))
+
+    def opinion_spread(self) -> float:
+        """Sum of final opinions of activated non-seed nodes (Def. 6)."""
+        seed_set = self.seed_set
+        return float(
+            sum(o for node, o in self.final_opinions.items() if node not in seed_set)
+        )
+
+    def effective_opinion_spread(self, penalty: float = 1.0) -> float:
+        """Positive opinion mass minus ``penalty`` times negative mass (Def. 7)."""
+        seed_set = self.seed_set
+        positive = 0.0
+        negative = 0.0
+        for node, opinion in self.final_opinions.items():
+            if node in seed_set:
+                continue
+            if opinion > 0:
+                positive += opinion
+            elif opinion < 0:
+                negative += -opinion
+        return positive - penalty * negative
+
+
+class DiffusionModel(abc.ABC):
+    """Base class for every diffusion model.
+
+    Subclasses implement :meth:`simulate`, which must be a pure function of
+    ``(graph, seeds, rng)`` — all randomness flows through the supplied
+    generator so Monte-Carlo estimation stays reproducible.
+    """
+
+    #: Short identifier used by the model registry and the CLI.
+    name: str = "base"
+
+    #: Whether the model produces opinion-aware final opinions.
+    opinion_aware: bool = False
+
+    @abc.abstractmethod
+    def simulate(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        rng: np.random.Generator,
+    ) -> DiffusionOutcome:
+        """Run one cascade from ``seeds`` and return its outcome."""
+
+    def simulate_once(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        seed: RandomState = None,
+    ) -> DiffusionOutcome:
+        """Convenience wrapper accepting any :data:`RandomState` spelling."""
+        return self.simulate(graph, seeds, ensure_rng(seed))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def validate_seed_indices(graph: CompiledGraph, seeds: Sequence[int]) -> tuple[int, ...]:
+    """Validate and normalise seed indices for a compiled graph."""
+    n = graph.number_of_nodes
+    unique: list[int] = []
+    seen: set[int] = set()
+    for seed in seeds:
+        index = int(seed)
+        if not 0 <= index < n:
+            raise ValueError(f"seed index {index} is outside 0..{n - 1}")
+        if index not in seen:
+            seen.add(index)
+            unique.append(index)
+    return tuple(unique)

@@ -1,0 +1,93 @@
+"""The IC-N model (Chen et al., SDM 2011) — negative-opinion baseline.
+
+IC-N extends IC with a single global *quality factor* ``q``:
+
+* a node activated by a *positive* neighbour becomes positive with
+  probability ``q`` and negative with probability ``1 - q``;
+* a node activated by a *negative* neighbour always becomes negative
+  (negativity dominance);
+* seeds start positive, but turn negative with probability ``1 - q`` as well.
+
+The paper criticises IC-N for ignoring personal opinions and for its rigid
+propagation of negativity (Sec. 1, limitations 1-2); it is implemented here as
+one of the two prior opinion-aware baselines.  Final opinions are reported as
+``+1`` / ``-1`` so the opinion-spread definitions apply unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.diffusion.base import DiffusionModel, DiffusionOutcome, validate_seed_indices
+from repro.exceptions import ConfigurationError
+from repro.graphs.digraph import CompiledGraph
+
+
+class ICNModel(DiffusionModel):
+    """IC with negative opinion emergence controlled by a quality factor."""
+
+    name = "icn"
+    opinion_aware = True
+
+    def __init__(self, quality_factor: float = 0.9) -> None:
+        if not 0.0 <= quality_factor <= 1.0:
+            raise ConfigurationError(
+                f"quality_factor must lie in [0, 1], got {quality_factor}"
+            )
+        self.quality_factor = quality_factor
+
+    def __repr__(self) -> str:
+        return f"ICNModel(quality_factor={self.quality_factor})"
+
+    def simulate(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        rng: np.random.Generator,
+    ) -> DiffusionOutcome:
+        seeds = validate_seed_indices(graph, seeds)
+        outcome = DiffusionOutcome(seeds=seeds)
+        n = graph.number_of_nodes
+        active = np.zeros(n, dtype=bool)
+        # +1 positive, -1 negative once active.
+        polarity = np.zeros(n, dtype=np.float64)
+
+        frontier: deque[int] = deque()
+        for seed in seeds:
+            active[seed] = True
+            sign = 1.0 if rng.random() < self.quality_factor else -1.0
+            polarity[seed] = sign
+            outcome.activated.append(seed)
+            outcome.final_opinions[seed] = sign
+            frontier.append(seed)
+
+        rounds = 0
+        while frontier:
+            rounds += 1
+            next_frontier: deque[int] = deque()
+            while frontier:
+                node = frontier.popleft()
+                neighbors = graph.out_neighbors(node)
+                if neighbors.size == 0:
+                    continue
+                probabilities = graph.out_probabilities(node)
+                draws = rng.random(neighbors.size)
+                for position in np.flatnonzero(draws < probabilities):
+                    target = int(neighbors[position])
+                    if active[target]:
+                        continue
+                    if polarity[node] < 0:
+                        sign = -1.0  # negativity always propagates
+                    else:
+                        sign = 1.0 if rng.random() < self.quality_factor else -1.0
+                    active[target] = True
+                    polarity[target] = sign
+                    outcome.activated.append(target)
+                    outcome.final_opinions[target] = sign
+                    next_frontier.append(target)
+            frontier = next_frontier
+        outcome.rounds = rounds
+        return outcome

@@ -1,0 +1,74 @@
+"""The Independent Cascade (IC) model of Kempe, Kleinberg and Tardos.
+
+At each synchronous step every node activated in the previous step gets one
+independent attempt to activate each of its out-neighbours ``v`` with
+probability ``p_(u,v)``.  The cascade stops when a step activates nobody.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.diffusion.base import DiffusionModel, DiffusionOutcome, validate_seed_indices
+from repro.graphs.digraph import CompiledGraph
+
+
+class IndependentCascadeModel(DiffusionModel):
+    """Opinion-oblivious IC diffusion.
+
+    The final opinion recorded for each activated node is simply its initial
+    opinion (zero for unannotated graphs); that is how the paper evaluates the
+    opinion spread of seed sets chosen under IC.
+    """
+
+    name = "ic"
+    opinion_aware = False
+
+    def edge_probabilities(self, graph: CompiledGraph, node: int) -> np.ndarray:
+        """Activation probabilities for the out-edges of ``node``.
+
+        Subclasses (the weighted-cascade model) override this hook; everything
+        else about the cascade dynamics is shared.
+        """
+        return graph.out_probabilities(node)
+
+    def simulate(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        rng: np.random.Generator,
+    ) -> DiffusionOutcome:
+        seeds = validate_seed_indices(graph, seeds)
+        outcome = DiffusionOutcome(seeds=seeds)
+        active = np.zeros(graph.number_of_nodes, dtype=bool)
+        frontier: deque[int] = deque()
+        for seed in seeds:
+            active[seed] = True
+            outcome.activated.append(seed)
+            outcome.final_opinions[seed] = float(graph.opinions[seed])
+            frontier.append(seed)
+
+        rounds = 0
+        while frontier:
+            rounds += 1
+            next_frontier: deque[int] = deque()
+            while frontier:
+                node = frontier.popleft()
+                neighbors = graph.out_neighbors(node)
+                if neighbors.size == 0:
+                    continue
+                probabilities = self.edge_probabilities(graph, node)
+                draws = rng.random(neighbors.size)
+                for position in np.flatnonzero(draws < probabilities):
+                    target = int(neighbors[position])
+                    if not active[target]:
+                        active[target] = True
+                        outcome.activated.append(target)
+                        outcome.final_opinions[target] = float(graph.opinions[target])
+                        next_frontier.append(target)
+            frontier = next_frontier
+        outcome.rounds = rounds
+        return outcome

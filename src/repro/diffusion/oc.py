@@ -1,0 +1,91 @@
+"""The OC model (Zhang, Dinh and Thai, ICDCS 2013) — opinion-aware LT baseline.
+
+OC couples opinion formation with the Linear Threshold activation layer: when
+a node ``v`` activates, its final opinion depends on its own initial opinion
+and the final opinions of the in-neighbours that activated it, without any
+notion of pairwise interaction probability.  The paper lists the missing
+interaction term and the LT-only first layer as OC's main limitations
+(Sec. 1, limitations 3-4).
+
+Implementation detail: activation follows LT (random thresholds, ``1/indeg``
+weights by default); the final opinion of a newly activated node is the
+average of its own opinion and the mean final opinion of its active
+in-neighbours — the same mixing rule as OI with ``phi = 1`` everywhere.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.diffusion.base import DiffusionModel, DiffusionOutcome, validate_seed_indices
+from repro.diffusion.linear_threshold import draw_thresholds, resolve_lt_weights
+from repro.graphs.digraph import CompiledGraph
+
+
+class OCModel(DiffusionModel):
+    """Opinion-aware LT diffusion without interaction probabilities."""
+
+    name = "oc"
+    opinion_aware = True
+
+    def simulate(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        rng: np.random.Generator,
+    ) -> DiffusionOutcome:
+        seeds = validate_seed_indices(graph, seeds)
+        outcome = DiffusionOutcome(seeds=seeds)
+        n = graph.number_of_nodes
+        active = np.zeros(n, dtype=bool)
+        final_opinion = np.zeros(n, dtype=np.float64)
+        accumulated = np.zeros(n, dtype=np.float64)
+        thresholds = draw_thresholds(graph, rng)
+        weights = resolve_lt_weights(graph)
+
+        frontier: deque[int] = deque()
+        for seed in seeds:
+            active[seed] = True
+            final_opinion[seed] = graph.opinions[seed]
+            outcome.activated.append(seed)
+            outcome.final_opinions[seed] = float(graph.opinions[seed])
+            frontier.append(seed)
+
+        rounds = 0
+        while frontier:
+            rounds += 1
+            touched: set[int] = set()
+            while frontier:
+                node = frontier.popleft()
+                for target in graph.out_neighbors(node):
+                    target = int(target)
+                    if active[target]:
+                        continue
+                    start, end = graph.in_indptr[target], graph.in_indptr[target + 1]
+                    in_neighbors = graph.in_indices[start:end]
+                    position = start + int(np.nonzero(in_neighbors == node)[0][0])
+                    accumulated[target] += weights[position]
+                    touched.add(target)
+            next_frontier: deque[int] = deque()
+            for target in touched:
+                if active[target] or accumulated[target] < thresholds[target]:
+                    continue
+                start, end = graph.in_indptr[target], graph.in_indptr[target + 1]
+                neighbour_opinions = [
+                    final_opinion[int(graph.in_indices[offset])]
+                    for offset in range(start, end)
+                    if active[int(graph.in_indices[offset])]
+                ]
+                neighbour_term = float(np.mean(neighbour_opinions)) if neighbour_opinions else 0.0
+                opinion = (graph.opinions[target] + neighbour_term) / 2.0
+                active[target] = True
+                final_opinion[target] = opinion
+                outcome.activated.append(target)
+                outcome.final_opinions[target] = float(opinion)
+                next_frontier.append(target)
+            frontier = next_frontier
+        outcome.rounds = rounds
+        return outcome

@@ -1,0 +1,192 @@
+"""The Opinion-cum-Interaction (OI) model — the paper's diffusion model.
+
+OI layers opinion dynamics on top of a fundamental activation model (IC or
+LT, Sec. 2.2):
+
+* **Activation layer** — identical to IC (independent activation attempts
+  with probability ``p``) or LT (weighted thresholds).
+* **Opinion layer** — a seed keeps its own opinion.  When a node ``v`` is
+  activated under the IC first layer by node ``u``, its final opinion becomes
+  ``o'_v = (o_v + (-1)^alpha * o'_u) / 2`` where ``alpha = 0`` with
+  probability ``phi_(u,v)`` (agreement) and ``alpha = 1`` otherwise
+  (disagreement).  Under the LT first layer the contribution of all active
+  in-neighbours is averaged:
+  ``o'_v = (o_v + mean_u (-1)^{alpha_(u,v)} o'_u) / 2``.
+
+Once active, a node keeps its effective opinion for the rest of the cascade.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.diffusion.base import DiffusionModel, DiffusionOutcome, validate_seed_indices
+from repro.diffusion.linear_threshold import draw_thresholds, resolve_lt_weights
+from repro.exceptions import ConfigurationError
+from repro.graphs.digraph import CompiledGraph
+
+#: First-layer activation models supported by OI.
+FIRST_LAYERS = ("ic", "wc", "lt")
+
+
+class OpinionInteractionModel(DiffusionModel):
+    """The OI model with a configurable first layer (``"ic"``, ``"wc"`` or ``"lt"``)."""
+
+    opinion_aware = True
+
+    def __init__(self, first_layer: str = "ic") -> None:
+        if first_layer not in FIRST_LAYERS:
+            raise ConfigurationError(
+                f"first_layer must be one of {FIRST_LAYERS}, got {first_layer!r}"
+            )
+        self.first_layer = first_layer
+        self.name = f"oi-{first_layer}"
+
+    def __repr__(self) -> str:
+        return f"OpinionInteractionModel(first_layer={self.first_layer!r})"
+
+    # ------------------------------------------------------------------ API
+
+    def simulate(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        rng: np.random.Generator,
+    ) -> DiffusionOutcome:
+        if self.first_layer == "lt":
+            return self._simulate_lt(graph, seeds, rng)
+        return self._simulate_ic(graph, seeds, rng)
+
+    # --------------------------------------------------------- IC first layer
+
+    def _activation_probabilities(self, graph: CompiledGraph, node: int) -> np.ndarray:
+        if self.first_layer == "wc":
+            in_degrees = np.diff(graph.in_indptr).astype(np.float64)
+            safe = np.where(in_degrees > 0, in_degrees, 1.0)
+            neighbors = graph.out_neighbors(node)
+            return 1.0 / safe[neighbors]
+        return graph.out_probabilities(node)
+
+    def _simulate_ic(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        rng: np.random.Generator,
+    ) -> DiffusionOutcome:
+        seeds = validate_seed_indices(graph, seeds)
+        outcome = DiffusionOutcome(seeds=seeds)
+        n = graph.number_of_nodes
+        active = np.zeros(n, dtype=bool)
+        final_opinion = np.zeros(n, dtype=np.float64)
+
+        frontier: deque[int] = deque()
+        for seed in seeds:
+            active[seed] = True
+            final_opinion[seed] = graph.opinions[seed]
+            outcome.activated.append(seed)
+            outcome.final_opinions[seed] = float(graph.opinions[seed])
+            frontier.append(seed)
+
+        rounds = 0
+        while frontier:
+            rounds += 1
+            next_frontier: deque[int] = deque()
+            while frontier:
+                node = frontier.popleft()
+                neighbors = graph.out_neighbors(node)
+                if neighbors.size == 0:
+                    continue
+                probabilities = self._activation_probabilities(graph, node)
+                interactions = graph.out_interactions(node)
+                draws = rng.random(neighbors.size)
+                successes = np.flatnonzero(draws < probabilities)
+                if successes.size == 0:
+                    continue
+                agreement_draws = rng.random(successes.size)
+                for slot, position in enumerate(successes):
+                    target = int(neighbors[position])
+                    if active[target]:
+                        continue
+                    agrees = agreement_draws[slot] < interactions[position]
+                    contribution = final_opinion[node] if agrees else -final_opinion[node]
+                    opinion = (graph.opinions[target] + contribution) / 2.0
+                    active[target] = True
+                    final_opinion[target] = opinion
+                    outcome.activated.append(target)
+                    outcome.final_opinions[target] = float(opinion)
+                    next_frontier.append(target)
+            frontier = next_frontier
+        outcome.rounds = rounds
+        return outcome
+
+    # --------------------------------------------------------- LT first layer
+
+    def _simulate_lt(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        rng: np.random.Generator,
+    ) -> DiffusionOutcome:
+        seeds = validate_seed_indices(graph, seeds)
+        outcome = DiffusionOutcome(seeds=seeds)
+        n = graph.number_of_nodes
+        active = np.zeros(n, dtype=bool)
+        final_opinion = np.zeros(n, dtype=np.float64)
+        accumulated = np.zeros(n, dtype=np.float64)
+        thresholds = draw_thresholds(graph, rng)
+        weights = resolve_lt_weights(graph)
+
+        frontier: deque[int] = deque()
+        for seed in seeds:
+            active[seed] = True
+            final_opinion[seed] = graph.opinions[seed]
+            outcome.activated.append(seed)
+            outcome.final_opinions[seed] = float(graph.opinions[seed])
+            frontier.append(seed)
+
+        rounds = 0
+        while frontier:
+            rounds += 1
+            touched: set[int] = set()
+            while frontier:
+                node = frontier.popleft()
+                for target in graph.out_neighbors(node):
+                    target = int(target)
+                    if active[target]:
+                        continue
+                    start, end = graph.in_indptr[target], graph.in_indptr[target + 1]
+                    in_neighbors = graph.in_indices[start:end]
+                    position = start + int(np.nonzero(in_neighbors == node)[0][0])
+                    accumulated[target] += weights[position]
+                    touched.add(target)
+            next_frontier: deque[int] = deque()
+            for target in touched:
+                if active[target] or accumulated[target] < thresholds[target]:
+                    continue
+                # Average the (possibly sign-flipped) opinions of the already
+                # active in-neighbours, weighted equally (Sec. 2.2, OI under LT).
+                start, end = graph.in_indptr[target], graph.in_indptr[target + 1]
+                contributions: list[float] = []
+                for offset in range(start, end):
+                    source = int(graph.in_indices[offset])
+                    if not active[source]:
+                        continue
+                    agrees = rng.random() < graph.in_interaction[offset]
+                    value = final_opinion[source] if agrees else -final_opinion[source]
+                    contributions.append(value)
+                if contributions:
+                    neighbour_term = float(np.mean(contributions))
+                else:  # pragma: no cover - activation requires an active in-neighbour
+                    neighbour_term = 0.0
+                opinion = (graph.opinions[target] + neighbour_term) / 2.0
+                active[target] = True
+                final_opinion[target] = opinion
+                outcome.activated.append(target)
+                outcome.final_opinions[target] = float(opinion)
+                next_frontier.append(target)
+            frontier = next_frontier
+        outcome.rounds = rounds
+        return outcome

@@ -1,0 +1,86 @@
+"""Functional helpers for the three spread objectives.
+
+These are thin conveniences over :class:`~repro.diffusion.simulation.MonteCarloEngine`
+for callers that want a one-off estimate without managing an engine object,
+plus single-cascade helpers used in tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.diffusion.base import DiffusionModel, DiffusionOutcome
+from repro.diffusion.registry import get_model
+from repro.diffusion.simulation import MonteCarloEngine
+from repro.graphs.digraph import CompiledGraph, DiGraph, Node
+from repro.utils.rng import RandomState, ensure_rng
+
+GraphLike = Union[DiGraph, CompiledGraph]
+ModelLike = Union[str, DiffusionModel]
+
+
+def simulate_once(
+    graph: GraphLike,
+    model: ModelLike,
+    seeds: Sequence[Node],
+    seed: RandomState = None,
+) -> DiffusionOutcome:
+    """Run a single cascade and return the raw outcome."""
+    compiled = graph.compile() if isinstance(graph, DiGraph) else graph
+    resolved = get_model(model) if isinstance(model, str) else model
+    indices = [compiled.index_of.get(s, s) for s in seeds]
+    return resolved.simulate(compiled, [int(i) for i in indices], ensure_rng(seed))
+
+
+def spread(outcome: DiffusionOutcome) -> float:
+    """Opinion-oblivious spread of a single cascade (Def. 3)."""
+    return outcome.spread()
+
+
+def opinion_spread(outcome: DiffusionOutcome) -> float:
+    """Opinion spread of a single cascade (Def. 6)."""
+    return outcome.opinion_spread()
+
+
+def effective_opinion_spread(outcome: DiffusionOutcome, penalty: float = 1.0) -> float:
+    """Effective opinion spread of a single cascade (Def. 7)."""
+    return outcome.effective_opinion_spread(penalty)
+
+
+def expected_spread(
+    graph: GraphLike,
+    model: ModelLike,
+    seeds: Sequence[Node],
+    simulations: int = 1000,
+    seed: RandomState = None,
+) -> float:
+    """Monte-Carlo estimate of ``sigma(S)``."""
+    engine = MonteCarloEngine(graph, model, simulations=simulations, seed=seed)
+    return engine.expected_spread(seeds)
+
+
+def expected_opinion_spread(
+    graph: GraphLike,
+    model: ModelLike,
+    seeds: Sequence[Node],
+    simulations: int = 1000,
+    seed: RandomState = None,
+) -> float:
+    """Monte-Carlo estimate of ``sigma_o(S)``."""
+    engine = MonteCarloEngine(graph, model, simulations=simulations, seed=seed)
+    return engine.expected_opinion_spread(seeds)
+
+
+def expected_effective_opinion_spread(
+    graph: GraphLike,
+    model: ModelLike,
+    seeds: Sequence[Node],
+    simulations: int = 1000,
+    penalty: float = 1.0,
+    seed: RandomState = None,
+) -> float:
+    """Monte-Carlo estimate of ``sigma^o_lambda(S)``."""
+    engine = MonteCarloEngine(
+        graph, model, simulations=simulations, penalty=penalty, seed=seed
+    )
+    return engine.expected_effective_opinion_spread(seeds)

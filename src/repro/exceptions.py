@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can distinguish library failures from programming errors with a single
+``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class GraphError(ReproError):
+    """Raised for structural problems with graphs (bad nodes, bad edges)."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a node that is not in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r} -> {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a model, algorithm or problem receives invalid parameters."""
+
+
+class MissingAnnotationError(ReproError, KeyError):
+    """Raised when an opinion-aware component runs on an unannotated graph.
+
+    Opinion-aware diffusion (the OI model and its baselines) requires node
+    opinions and edge interaction probabilities; this error explains which of
+    the two annotations is missing.
+    """
+
+    def __init__(self, what: str) -> None:
+        super().__init__(
+            f"graph is missing the {what!r} annotation; call "
+            "repro.opinion.annotate_opinions() or set it explicitly"
+        )
+        self.what = what
+
+
+class DatasetError(ReproError, ValueError):
+    """Raised when a named dataset cannot be located or generated."""
+
+
+class AlgorithmError(ReproError, RuntimeError):
+    """Raised when a seed-selection algorithm fails to produce a seed set."""
+
+
+class BudgetError(ConfigurationError):
+    """Raised when the seed budget ``k`` is not satisfiable for the graph."""
+
+    def __init__(self, budget: int, population: int) -> None:
+        super().__init__(
+            f"budget k={budget} exceeds the number of selectable nodes "
+            f"({population})"
+        )
+        self.budget = budget
+        self.population = population

@@ -1,0 +1,60 @@
+"""Graph substrate: directed graphs, generators, IO, statistics and gadgets."""
+
+from repro.graphs.digraph import DiGraph, EdgeData, CompiledGraph
+from repro.graphs.builders import (
+    from_edge_list,
+    from_networkx,
+    make_bidirectional,
+    to_networkx,
+)
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    forest_fire_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    random_dag,
+    random_tree,
+    star_graph,
+    stochastic_block_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.graphs.stats import GraphStats, compute_stats, effective_diameter
+from repro.graphs.special import (
+    figure1_example_graph,
+    submodularity_counterexample,
+    set_cover_reduction_graph,
+)
+
+__all__ = [
+    "DiGraph",
+    "EdgeData",
+    "CompiledGraph",
+    "from_edge_list",
+    "from_networkx",
+    "to_networkx",
+    "make_bidirectional",
+    "barabasi_albert_graph",
+    "complete_graph",
+    "cycle_graph",
+    "erdos_renyi_graph",
+    "forest_fire_graph",
+    "path_graph",
+    "powerlaw_cluster_graph",
+    "random_dag",
+    "random_tree",
+    "star_graph",
+    "stochastic_block_graph",
+    "watts_strogatz_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "GraphStats",
+    "compute_stats",
+    "effective_diameter",
+    "figure1_example_graph",
+    "submodularity_counterexample",
+    "set_cover_reduction_graph",
+]

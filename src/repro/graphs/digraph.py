@@ -1,0 +1,570 @@
+"""Directed graph data structures used throughout the library.
+
+Two representations are provided:
+
+* :class:`DiGraph` — a mutable adjacency-map graph with per-node attributes
+  (opinion ``o``, activation threshold ``theta``) and per-edge attributes
+  (influence probability ``p``, LT weight ``w``, interaction probability
+  ``phi``).  This is the structure users build, annotate and pass to the
+  public API.
+* :class:`CompiledGraph` — an immutable CSR (compressed sparse row) snapshot
+  with numpy arrays for both out- and in-adjacency.  The Monte-Carlo
+  simulation engine and the score-assignment algorithms operate on this view,
+  which keeps the per-node overhead at a few machine words and matches the
+  paper's "linear space" requirement.
+
+The attribute names mirror the paper's notation (Table 1): ``p`` for the IC
+influence probability, ``w`` for the LT edge weight, ``phi`` for the
+interaction probability, ``opinion`` for :math:`o_v` and ``threshold`` for
+:math:`\\theta_v`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+
+Node = Hashable
+
+#: Default IC influence probability used by the paper (Sec. 4, "Parameters").
+DEFAULT_INFLUENCE_PROBABILITY = 0.1
+
+#: Default interaction probability when a graph has not been annotated.
+DEFAULT_INTERACTION_PROBABILITY = 1.0
+
+
+@dataclass
+class EdgeData:
+    """Attributes attached to a directed edge ``u -> v``.
+
+    Attributes
+    ----------
+    probability:
+        IC influence probability :math:`p_{(u,v)} \\in [0, 1]`.
+    weight:
+        LT edge weight :math:`w_{(u,v)} \\in [0, 1]`.
+    interaction:
+        Interaction probability :math:`\\varphi_{(u,v)} \\in [0, 1]` — the
+        fraction of times ``v`` adopts information from ``u`` with the same
+        orientation as ``u`` (Def. 5 in the paper).
+    """
+
+    probability: float = DEFAULT_INFLUENCE_PROBABILITY
+    weight: float = 0.0
+    interaction: float = DEFAULT_INTERACTION_PROBABILITY
+
+    def copy(self) -> "EdgeData":
+        return EdgeData(self.probability, self.weight, self.interaction)
+
+
+@dataclass
+class NodeData:
+    """Attributes attached to a node.
+
+    Attributes
+    ----------
+    opinion:
+        Personal opinion :math:`o_v \\in [-1, 1]` towards the content being
+        diffused (Def. 4).  ``None`` until the graph has been annotated.
+    threshold:
+        LT activation threshold :math:`\\theta_v \\in [0, 1]`.  ``None`` means
+        "draw uniformly at random per simulation", which is the conventional
+        randomised-threshold LT model used in the paper.
+    """
+
+    opinion: Optional[float] = None
+    threshold: Optional[float] = None
+
+    def copy(self) -> "NodeData":
+        return NodeData(self.opinion, self.threshold)
+
+
+class DiGraph:
+    """A mutable directed graph with IM-specific node and edge attributes.
+
+    Nodes may be any hashable objects; most of the library uses consecutive
+    integers.  Self-loops are rejected because none of the diffusion models
+    give them meaning.  Parallel edges are not supported; adding an existing
+    edge overwrites its attributes.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._succ: Dict[Node, Dict[Node, EdgeData]] = {}
+        self._pred: Dict[Node, Dict[Node, EdgeData]] = {}
+        self._node_data: Dict[Node, NodeData] = {}
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------ nodes
+
+    def add_node(self, node: Node, opinion: Optional[float] = None,
+                 threshold: Optional[float] = None) -> Node:
+        """Add ``node`` (idempotent) and optionally set its attributes."""
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+            self._node_data[node] = NodeData()
+        data = self._node_data[node]
+        if opinion is not None:
+            data.opinion = _validate_opinion(opinion)
+        if threshold is not None:
+            data.threshold = _validate_unit(threshold, "threshold")
+        return node
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every incident edge."""
+        self._require_node(node)
+        for target in list(self._succ[node]):
+            self.remove_edge(node, target)
+        for source in list(self._pred[node]):
+            self.remove_edge(source, node)
+        del self._succ[node]
+        del self._pred[node]
+        del self._node_data[node]
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._succ
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over the nodes in insertion order."""
+        return iter(self._succ)
+
+    def node_data(self, node: Node) -> NodeData:
+        self._require_node(node)
+        return self._node_data[node]
+
+    # ----------------------------------------------------------------- edges
+
+    def add_edge(self, source: Node, target: Node,
+                 probability: float = DEFAULT_INFLUENCE_PROBABILITY,
+                 weight: float = 0.0,
+                 interaction: float = DEFAULT_INTERACTION_PROBABILITY) -> None:
+        """Add the directed edge ``source -> target`` (endpoints auto-added)."""
+        if source == target:
+            raise GraphError(f"self-loops are not supported (node {source!r})")
+        self.add_node(source)
+        self.add_node(target)
+        data = EdgeData(
+            probability=_validate_unit(probability, "probability"),
+            weight=_validate_unit(weight, "weight"),
+            interaction=_validate_unit(interaction, "interaction"),
+        )
+        if target not in self._succ[source]:
+            self._edge_count += 1
+        self._succ[source][target] = data
+        self._pred[target][source] = data
+
+    def add_edges_from(
+        self, edges: Iterable[Tuple[Node, Node]], **attributes: float
+    ) -> None:
+        for source, target in edges:
+            self.add_edge(source, target, **attributes)
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        self._require_edge(source, target)
+        del self._succ[source][target]
+        del self._pred[target][source]
+        self._edge_count -= 1
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        return source in self._succ and target in self._succ[source]
+
+    def edge_data(self, source: Node, target: Node) -> EdgeData:
+        self._require_edge(source, target)
+        return self._succ[source][target]
+
+    def edges(self) -> Iterator[Tuple[Node, Node, EdgeData]]:
+        """Iterate over ``(source, target, EdgeData)`` triples."""
+        for source, targets in self._succ.items():
+            for target, data in targets.items():
+                yield source, target, data
+
+    # ----------------------------------------------------------- neighbours
+
+    def successors(self, node: Node) -> Iterator[Node]:
+        """Out-neighbours of ``node`` (``Out(u)`` in the paper)."""
+        self._require_node(node)
+        return iter(self._succ[node])
+
+    def predecessors(self, node: Node) -> Iterator[Node]:
+        """In-neighbours of ``node`` (``In(v)`` in the paper)."""
+        self._require_node(node)
+        return iter(self._pred[node])
+
+    def out_edges(self, node: Node) -> Iterator[Tuple[Node, EdgeData]]:
+        self._require_node(node)
+        return iter(self._succ[node].items())
+
+    def in_edges(self, node: Node) -> Iterator[Tuple[Node, EdgeData]]:
+        self._require_node(node)
+        return iter(self._pred[node].items())
+
+    def out_degree(self, node: Node) -> int:
+        self._require_node(node)
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        self._require_node(node)
+        return len(self._pred[node])
+
+    # ------------------------------------------------------------ attributes
+
+    def set_opinion(self, node: Node, opinion: float) -> None:
+        """Set the personal opinion :math:`o_v \\in [-1, 1]` of ``node``."""
+        self._require_node(node)
+        self._node_data[node].opinion = _validate_opinion(opinion)
+
+    def opinion(self, node: Node) -> Optional[float]:
+        self._require_node(node)
+        return self._node_data[node].opinion
+
+    def set_threshold(self, node: Node, threshold: float) -> None:
+        self._require_node(node)
+        self._node_data[node].threshold = _validate_unit(threshold, "threshold")
+
+    def threshold(self, node: Node) -> Optional[float]:
+        self._require_node(node)
+        return self._node_data[node].threshold
+
+    def set_interaction(self, source: Node, target: Node, interaction: float) -> None:
+        """Set the interaction probability :math:`\\varphi_{(u,v)}`."""
+        self.edge_data(source, target).interaction = _validate_unit(
+            interaction, "interaction"
+        )
+
+    def set_probability(self, source: Node, target: Node, probability: float) -> None:
+        self.edge_data(source, target).probability = _validate_unit(
+            probability, "probability"
+        )
+
+    def set_weight(self, source: Node, target: Node, weight: float) -> None:
+        self.edge_data(source, target).weight = _validate_unit(weight, "weight")
+
+    def has_opinions(self) -> bool:
+        """True when every node carries an opinion annotation."""
+        return all(data.opinion is not None for data in self._node_data.values())
+
+    # -------------------------------------------------- bulk parameterisation
+
+    def set_uniform_probabilities(self, probability: float) -> None:
+        """Assign the same IC probability ``p`` to every edge (paper: p=0.1)."""
+        probability = _validate_unit(probability, "probability")
+        for _, _, data in self.edges():
+            data.probability = probability
+
+    def set_weighted_cascade_probabilities(self) -> None:
+        """Assign ``p_(u,v) = 1 / in_degree(v)`` (the WC model, Sec. 3.3)."""
+        for _, target, data in self.edges():
+            data.probability = 1.0 / self.in_degree(target)
+
+    def set_linear_threshold_weights(self) -> None:
+        """Assign ``w_(u,v) = 1 / in_degree(v)`` (conventional LT weights)."""
+        for _, target, data in self.edges():
+            data.weight = 1.0 / self.in_degree(target)
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def number_of_nodes(self) -> int:
+        return len(self._succ)
+
+    @property
+    def number_of_edges(self) -> int:
+        return self._edge_count
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<DiGraph{label} with {self.number_of_nodes} nodes and "
+            f"{self.number_of_edges} edges>"
+        )
+
+    # ----------------------------------------------------------------- copy
+
+    def copy(self) -> "DiGraph":
+        """Return a deep copy (attributes included)."""
+        clone = DiGraph(name=self.name)
+        for node in self.nodes():
+            data = self._node_data[node]
+            clone.add_node(node)
+            clone._node_data[node] = data.copy()
+        for source, target, data in self.edges():
+            clone.add_edge(
+                source,
+                target,
+                probability=data.probability,
+                weight=data.weight,
+                interaction=data.interaction,
+            )
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """Return the subgraph induced on ``nodes`` (attributes copied)."""
+        keep = set(nodes)
+        missing = [node for node in keep if node not in self]
+        if missing:
+            raise NodeNotFoundError(missing[0])
+        sub = DiGraph(name=self.name)
+        for node in self.nodes():
+            if node in keep:
+                sub.add_node(node)
+                sub._node_data[node] = self._node_data[node].copy()
+        for source, target, data in self.edges():
+            if source in keep and target in keep:
+                sub.add_edge(
+                    source,
+                    target,
+                    probability=data.probability,
+                    weight=data.weight,
+                    interaction=data.interaction,
+                )
+        return sub
+
+    def reverse(self) -> "DiGraph":
+        """Return a copy with every edge direction flipped."""
+        rev = DiGraph(name=self.name)
+        for node in self.nodes():
+            rev.add_node(node)
+            rev._node_data[node] = self._node_data[node].copy()
+        for source, target, data in self.edges():
+            rev.add_edge(
+                target,
+                source,
+                probability=data.probability,
+                weight=data.weight,
+                interaction=data.interaction,
+            )
+        return rev
+
+    # ------------------------------------------------------------- compile
+
+    def compile(self) -> "CompiledGraph":
+        """Freeze the graph into a :class:`CompiledGraph` CSR snapshot."""
+        return CompiledGraph.from_digraph(self)
+
+    # ------------------------------------------------------------- private
+
+    def _require_node(self, node: Node) -> None:
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+
+    def _require_edge(self, source: Node, target: Node) -> None:
+        if source not in self._succ or target not in self._succ[source]:
+            raise EdgeNotFoundError(source, target)
+
+
+class CompiledGraph:
+    """Immutable CSR snapshot of a :class:`DiGraph`.
+
+    Nodes are re-indexed to ``0..n-1`` (the original labels are kept in
+    :attr:`labels`).  Both forward (out-edges) and reverse (in-edges) CSR
+    structures are materialised because the diffusion models walk out-edges
+    while the RIS-based algorithms (TIM+/IMM) and LT simulation walk in-edges.
+    """
+
+    __slots__ = (
+        "labels",
+        "index_of",
+        "out_indptr",
+        "out_indices",
+        "out_probability",
+        "out_interaction",
+        "out_weight",
+        "in_indptr",
+        "in_indices",
+        "in_probability",
+        "in_interaction",
+        "in_weight",
+        "opinions",
+        "thresholds",
+    )
+
+    def __init__(
+        self,
+        labels: Sequence[Node],
+        index_of: Mapping[Node, int],
+        out_indptr: np.ndarray,
+        out_indices: np.ndarray,
+        out_probability: np.ndarray,
+        out_interaction: np.ndarray,
+        out_weight: np.ndarray,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        in_probability: np.ndarray,
+        in_interaction: np.ndarray,
+        in_weight: np.ndarray,
+        opinions: np.ndarray,
+        thresholds: np.ndarray,
+    ) -> None:
+        self.labels = list(labels)
+        self.index_of = dict(index_of)
+        self.out_indptr = out_indptr
+        self.out_indices = out_indices
+        self.out_probability = out_probability
+        self.out_interaction = out_interaction
+        self.out_weight = out_weight
+        self.in_indptr = in_indptr
+        self.in_indices = in_indices
+        self.in_probability = in_probability
+        self.in_interaction = in_interaction
+        self.in_weight = in_weight
+        self.opinions = opinions
+        self.thresholds = thresholds
+
+    # ------------------------------------------------------------ factory
+
+    @classmethod
+    def from_digraph(cls, graph: DiGraph) -> "CompiledGraph":
+        labels = list(graph.nodes())
+        index_of = {label: i for i, label in enumerate(labels)}
+        n = len(labels)
+
+        out_degrees = np.zeros(n + 1, dtype=np.int64)
+        in_degrees = np.zeros(n + 1, dtype=np.int64)
+        for source, target, _ in graph.edges():
+            out_degrees[index_of[source] + 1] += 1
+            in_degrees[index_of[target] + 1] += 1
+        out_indptr = np.cumsum(out_degrees)
+        in_indptr = np.cumsum(in_degrees)
+        m = int(out_indptr[-1])
+
+        out_indices = np.zeros(m, dtype=np.int64)
+        out_probability = np.zeros(m, dtype=np.float64)
+        out_interaction = np.zeros(m, dtype=np.float64)
+        out_weight = np.zeros(m, dtype=np.float64)
+        in_indices = np.zeros(m, dtype=np.int64)
+        in_probability = np.zeros(m, dtype=np.float64)
+        in_interaction = np.zeros(m, dtype=np.float64)
+        in_weight = np.zeros(m, dtype=np.float64)
+
+        out_cursor = out_indptr[:-1].copy()
+        in_cursor = in_indptr[:-1].copy()
+        for source, target, data in graph.edges():
+            u = index_of[source]
+            v = index_of[target]
+            pos = out_cursor[u]
+            out_indices[pos] = v
+            out_probability[pos] = data.probability
+            out_interaction[pos] = data.interaction
+            out_weight[pos] = data.weight
+            out_cursor[u] += 1
+            pos = in_cursor[v]
+            in_indices[pos] = u
+            in_probability[pos] = data.probability
+            in_interaction[pos] = data.interaction
+            in_weight[pos] = data.weight
+            in_cursor[v] += 1
+
+        opinions = np.zeros(n, dtype=np.float64)
+        thresholds = np.full(n, np.nan, dtype=np.float64)
+        for label, i in index_of.items():
+            data = graph.node_data(label)
+            opinions[i] = 0.0 if data.opinion is None else data.opinion
+            if data.threshold is not None:
+                thresholds[i] = data.threshold
+
+        return cls(
+            labels=labels,
+            index_of=index_of,
+            out_indptr=out_indptr,
+            out_indices=out_indices,
+            out_probability=out_probability,
+            out_interaction=out_interaction,
+            out_weight=out_weight,
+            in_indptr=in_indptr,
+            in_indices=in_indices,
+            in_probability=in_probability,
+            in_interaction=in_interaction,
+            in_weight=in_weight,
+            opinions=opinions,
+            thresholds=thresholds,
+        )
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def number_of_nodes(self) -> int:
+        return len(self.labels)
+
+    @property
+    def number_of_edges(self) -> int:
+        return int(self.out_indptr[-1])
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        return self.out_indices[self.out_indptr[node]:self.out_indptr[node + 1]]
+
+    def out_probabilities(self, node: int) -> np.ndarray:
+        return self.out_probability[self.out_indptr[node]:self.out_indptr[node + 1]]
+
+    def out_interactions(self, node: int) -> np.ndarray:
+        return self.out_interaction[self.out_indptr[node]:self.out_indptr[node + 1]]
+
+    def out_weights(self, node: int) -> np.ndarray:
+        return self.out_weight[self.out_indptr[node]:self.out_indptr[node + 1]]
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        return self.in_indices[self.in_indptr[node]:self.in_indptr[node + 1]]
+
+    def in_probabilities(self, node: int) -> np.ndarray:
+        return self.in_probability[self.in_indptr[node]:self.in_indptr[node + 1]]
+
+    def in_interactions(self, node: int) -> np.ndarray:
+        return self.in_interaction[self.in_indptr[node]:self.in_indptr[node + 1]]
+
+    def in_weights(self, node: int) -> np.ndarray:
+        return self.in_weight[self.in_indptr[node]:self.in_indptr[node + 1]]
+
+    def out_degree(self, node: int) -> int:
+        return int(self.out_indptr[node + 1] - self.out_indptr[node])
+
+    def in_degree(self, node: int) -> int:
+        return int(self.in_indptr[node + 1] - self.in_indptr[node])
+
+    def indices_for(self, labels: Iterable[Node]) -> list[int]:
+        """Map original node labels to compiled indices."""
+        return [self.index_of[label] for label in labels]
+
+    def labels_for(self, indices: Iterable[int]) -> list[Node]:
+        """Map compiled indices back to the original node labels."""
+        return [self.labels[i] for i in indices]
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledGraph with {self.number_of_nodes} nodes and "
+            f"{self.number_of_edges} edges>"
+        )
+
+
+# --------------------------------------------------------------------------
+# validation helpers
+
+
+def _validate_opinion(value: float) -> float:
+    value = float(value)
+    if not -1.0 <= value <= 1.0:
+        raise GraphError(f"opinion must lie in [-1, 1], got {value}")
+    return value
+
+
+def _validate_unit(value: float, name: str) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise GraphError(f"{name} must lie in [0, 1], got {value}")
+    return value

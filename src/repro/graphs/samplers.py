@@ -1,0 +1,84 @@
+"""Subgraph sampling utilities.
+
+The Twitter case study (Sec. 4.1.1) projects a huge background graph down to
+activity-focused subgraphs.  The samplers here support the synthetic version
+of that pipeline and general down-scaling of the registry datasets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.digraph import DiGraph, Node
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def random_node_sample(graph: DiGraph, count: int, seed: RandomState = None) -> DiGraph:
+    """Induced subgraph on ``count`` uniformly sampled nodes."""
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    nodes = list(graph.nodes())
+    if count >= len(nodes):
+        return graph.copy()
+    rng = ensure_rng(seed)
+    positions = rng.choice(len(nodes), size=count, replace=False)
+    return graph.subgraph(nodes[i] for i in positions)
+
+
+def snowball_sample(
+    graph: DiGraph,
+    seeds: Iterable[Node],
+    max_nodes: int,
+    max_depth: int = 3,
+) -> DiGraph:
+    """Breadth-first (snowball) expansion from ``seeds`` up to ``max_nodes``.
+
+    Expansion follows out-edges; depth is capped at ``max_depth`` which keeps
+    the sample local, mimicking topic-focused subgraphs.
+    """
+    if max_nodes < 1:
+        raise ConfigurationError(f"max_nodes must be >= 1, got {max_nodes}")
+    selected: set[Node] = set()
+    queue: deque[tuple[Node, int]] = deque()
+    for seed_node in seeds:
+        if seed_node in graph and seed_node not in selected:
+            selected.add(seed_node)
+            queue.append((seed_node, 0))
+    while queue and len(selected) < max_nodes:
+        current, depth = queue.popleft()
+        if depth >= max_depth:
+            continue
+        for neighbor in graph.successors(current):
+            if neighbor not in selected:
+                selected.add(neighbor)
+                queue.append((neighbor, depth + 1))
+                if len(selected) >= max_nodes:
+                    break
+    return graph.subgraph(selected)
+
+
+def random_edge_sample(graph: DiGraph, count: int, seed: RandomState = None) -> DiGraph:
+    """Subgraph made of ``count`` uniformly sampled edges (plus endpoints)."""
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    edges = list(graph.edges())
+    rng = ensure_rng(seed)
+    if count < len(edges):
+        positions = rng.choice(len(edges), size=count, replace=False)
+        edges = [edges[i] for i in positions]
+    sample = DiGraph(name=f"{graph.name}-edge-sample")
+    for source, target, data in edges:
+        sample.add_edge(
+            source,
+            target,
+            probability=data.probability,
+            weight=data.weight,
+            interaction=data.interaction,
+        )
+        for node in (source, target):
+            opinion = graph.opinion(node)
+            if opinion is not None:
+                sample.set_opinion(node, opinion)
+    return sample

@@ -1,0 +1,139 @@
+"""Graph gadgets defined in the paper.
+
+Three constructions are reproduced exactly:
+
+* :func:`figure1_example_graph` — the 4-node Twitter snapshot from Figure 1 /
+  Examples 1–2, used in the quickstart example and as a ground-truth fixture
+  (the paper works out the expected spread and opinion spread by hand).
+* :func:`submodularity_counterexample` — the bipartite gadget of Figure 3a
+  proving the effective opinion spread is neither monotone nor submodular
+  (Lemma 2).
+* :func:`set_cover_reduction_graph` — the layered gadget of Figure 3b reducing
+  SET-COVER to MEO (Theorem 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.digraph import DiGraph
+
+
+def figure1_example_graph() -> DiGraph:
+    """The running example of Figure 1.
+
+    Nodes ``"A"``, ``"B"``, ``"C"``, ``"D"`` with opinions
+    ``o_A=0.8, o_B=0.0, o_C=0.6, o_D=-0.3`` and edges
+
+    ======  =====  =====
+    edge    p      phi
+    ======  =====  =====
+    B -> A  0.1    0.7
+    B -> C  0.1    0.8
+    A -> D  0.8    0.9
+    C -> D  0.9    0.1
+    ======  =====  =====
+
+    Example 2 derives ``sigma(A)=0.8``, ``sigma(C)=0.9`` under IC and
+    ``sigma_o(A)=0.136``, ``sigma_o(C)=-0.351`` under OI, so the IC-optimal
+    seed is ``C`` while the OI-optimal seed is ``A``.
+    """
+    graph = DiGraph(name="figure1")
+    graph.add_node("A", opinion=0.8)
+    graph.add_node("B", opinion=0.0)
+    graph.add_node("C", opinion=0.6)
+    graph.add_node("D", opinion=-0.3)
+    graph.add_edge("B", "A", probability=0.1, interaction=0.7)
+    graph.add_edge("B", "C", probability=0.1, interaction=0.8)
+    graph.add_edge("A", "D", probability=0.8, interaction=0.9)
+    graph.add_edge("C", "D", probability=0.9, interaction=0.1)
+    return graph
+
+
+def submodularity_counterexample(nx: int = 3) -> DiGraph:
+    """The Figure 3a bipartite gadget showing MEO is not submodular.
+
+    ``nx`` source nodes ``s_1..s_nx`` (layer X, opinion +1) each point to two
+    dedicated targets in layer Y (opinion 0), with ``p = 1`` on every edge.
+    Interaction is 1 on every edge except those leaving the *last* source,
+    whose interactions are 0 — so activating the last source flips its two
+    targets to opinion −1/2 and the effective spread sequence over seed sets
+    ``{s_i} → {s_i, s_nx} → {s_i, s_nx, s_j}`` goes ``1 → 0 → 1``
+    (Lemma 2 in the paper).
+
+    Node labels: sources are ``("x", i)``, targets are ``("y", j)``.
+    """
+    if nx < 2:
+        raise ConfigurationError(f"the counterexample needs nx >= 2 sources, got {nx}")
+    graph = DiGraph(name=f"submodularity-counterexample-{nx}")
+    for i in range(1, nx + 1):
+        graph.add_node(("x", i), opinion=1.0)
+    for j in range(1, 2 * nx + 1):
+        graph.add_node(("y", j), opinion=0.0)
+    for i in range(1, nx + 1):
+        interaction = 0.0 if i == nx else 1.0
+        for j in (2 * i - 1, 2 * i):
+            graph.add_edge(("x", i), ("y", j), probability=1.0, interaction=interaction)
+    return graph
+
+
+def set_cover_reduction_graph(
+    universe_size: int,
+    subsets: Sequence[Sequence[int]],
+) -> DiGraph:
+    """The Figure 3b gadget reducing SET-COVER to MEO.
+
+    Parameters
+    ----------
+    universe_size:
+        ``n`` — number of universe elements ``q_1..q_n``.
+    subsets:
+        ``m`` subsets, each a sequence of element indices in ``1..n``.
+
+    Construction (all edges have ``p = 1`` and ``phi = 1``; ``lambda = 1``):
+
+    * layer 1: one node ``("x", i)`` per subset ``R_i``, opinion 0;
+    * layer 2: one node ``("y", j)`` per element ``q_j``, opinion ``1/n``;
+    * layer 3: ``m + n - 2`` nodes ``("z", t)``, opinion ``-1/(2n)``;
+    * a sink ``("s",)`` with opinion ``-1 + 1/n``;
+    * edge ``x_i -> y_j`` iff ``q_j ∈ R_i``; every ``y`` points to every ``z``;
+      every ``z`` points to the sink.
+
+    The paper shows a size-``k`` seed set drawn from layer 1 achieves effective
+    opinion spread ``> 0`` iff the corresponding subsets cover the universe.
+    """
+    if universe_size < 1:
+        raise ConfigurationError(f"universe_size must be >= 1, got {universe_size}")
+    if not subsets:
+        raise ConfigurationError("at least one subset is required")
+    for i, subset in enumerate(subsets, start=1):
+        for element in subset:
+            if not 1 <= element <= universe_size:
+                raise ConfigurationError(
+                    f"subset {i} references element {element}, which is outside "
+                    f"1..{universe_size}"
+                )
+    n = universe_size
+    m = len(subsets)
+    graph = DiGraph(name=f"set-cover-reduction-{m}x{n}")
+
+    for i in range(1, m + 1):
+        graph.add_node(("x", i), opinion=0.0)
+    for j in range(1, n + 1):
+        graph.add_node(("y", j), opinion=1.0 / n)
+    z_count = m + n - 2
+    for t in range(1, z_count + 1):
+        graph.add_node(("z", t), opinion=-1.0 / (2.0 * n))
+    sink = ("s",)
+    graph.add_node(sink, opinion=-1.0 + 1.0 / n)
+
+    for i, subset in enumerate(subsets, start=1):
+        for element in subset:
+            graph.add_edge(("x", i), ("y", element), probability=1.0, interaction=1.0)
+    for j in range(1, n + 1):
+        for t in range(1, z_count + 1):
+            graph.add_edge(("y", j), ("z", t), probability=1.0, interaction=1.0)
+    for t in range(1, z_count + 1):
+        graph.add_edge(("z", t), sink, probability=1.0, interaction=1.0)
+    return graph

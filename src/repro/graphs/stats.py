@@ -1,0 +1,213 @@
+"""Graph statistics reported in Table 2 of the paper.
+
+The table lists, per dataset: number of nodes ``n``, number of edges ``m``,
+directed/undirected type, average degree and the 90-percentile effective
+diameter.  :func:`compute_stats` reproduces those columns for any
+:class:`DiGraph`; the effective diameter is estimated by BFS from a sample of
+source nodes, which is the standard approach for graphs too large for an
+all-pairs computation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph, Node
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class GraphStats:
+    """Summary statistics matching the columns of Table 2."""
+
+    name: str
+    nodes: int
+    edges: int
+    average_degree: float
+    effective_diameter: float
+    max_out_degree: int
+    max_in_degree: int
+    weakly_connected_components: int
+
+    def as_row(self) -> dict:
+        """Row dictionary used by the Table 2 benchmark harness."""
+        return {
+            "dataset": self.name,
+            "n": self.nodes,
+            "m": self.edges,
+            "avg_degree": round(self.average_degree, 2),
+            "90pct_diameter": round(self.effective_diameter, 1),
+        }
+
+
+def bfs_distances(graph: DiGraph, source: Node) -> dict[Node, int]:
+    """Unweighted shortest-path distances from ``source`` along out-edges."""
+    distances = {source: 0}
+    queue: deque[Node] = deque([source])
+    while queue:
+        current = queue.popleft()
+        next_distance = distances[current] + 1
+        for neighbor in graph.successors(current):
+            if neighbor not in distances:
+                distances[neighbor] = next_distance
+                queue.append(neighbor)
+    return distances
+
+
+def effective_diameter(
+    graph: DiGraph,
+    percentile: float = 90.0,
+    sample_size: int = 64,
+    seed: RandomState = None,
+) -> float:
+    """Estimate the ``percentile`` effective diameter.
+
+    The effective diameter is the smallest distance ``d`` such that the given
+    percentile of connected node pairs are within distance ``d``.  Distances
+    are collected by BFS from a random sample of sources (all sources when the
+    graph has at most ``sample_size`` nodes), and the percentile is
+    interpolated between integer distances as is conventional.
+    """
+    if graph.number_of_nodes == 0:
+        return 0.0
+    rng = ensure_rng(seed)
+    nodes = list(graph.nodes())
+    if len(nodes) <= sample_size:
+        sources = nodes
+    else:
+        positions = rng.choice(len(nodes), size=sample_size, replace=False)
+        sources = [nodes[i] for i in positions]
+
+    all_distances: list[int] = []
+    for source in sources:
+        distances = bfs_distances(graph, source)
+        all_distances.extend(d for d in distances.values() if d > 0)
+    if not all_distances:
+        return 0.0
+    values = np.sort(np.asarray(all_distances, dtype=np.float64))
+    rank = percentile / 100.0 * (len(values) - 1)
+    lower = int(np.floor(rank))
+    upper = int(np.ceil(rank))
+    if lower == upper:
+        return float(values[lower])
+    fraction = rank - lower
+    return float(values[lower] * (1 - fraction) + values[upper] * fraction)
+
+
+def weakly_connected_components(graph: DiGraph) -> list[set[Node]]:
+    """Weakly connected components (edge directions ignored)."""
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = {start}
+        queue: deque[Node] = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbor in graph.successors(current):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    queue.append(neighbor)
+            for neighbor in graph.predecessors(current):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        seen.update(component)
+        components.append(component)
+    return components
+
+
+def strongly_connected_components(graph: DiGraph) -> list[set[Node]]:
+    """Strongly connected components (iterative Tarjan)."""
+    index_counter = 0
+    index: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    components: list[set[Node]] = []
+
+    for root in graph.nodes():
+        if root in index:
+            continue
+        work = [(root, iter(graph.successors(root)))]
+        index[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(graph.successors(successor))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[Node] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def is_dag(graph: DiGraph) -> bool:
+    """True when the graph has no directed cycle."""
+    return all(len(component) == 1 for component in strongly_connected_components(graph))
+
+
+def degree_histogram(graph: DiGraph, direction: str = "out") -> dict[int, int]:
+    """Histogram ``degree -> count`` over nodes for the chosen direction."""
+    if direction not in ("out", "in"):
+        raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+    histogram: dict[int, int] = {}
+    for node in graph.nodes():
+        degree = graph.out_degree(node) if direction == "out" else graph.in_degree(node)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def compute_stats(
+    graph: DiGraph,
+    name: Optional[str] = None,
+    diameter_sample_size: int = 64,
+    seed: RandomState = 0,
+) -> GraphStats:
+    """Compute the Table 2 statistics for ``graph``."""
+    n = graph.number_of_nodes
+    m = graph.number_of_edges
+    average_degree = m / n if n else 0.0
+    max_out = max((graph.out_degree(v) for v in graph.nodes()), default=0)
+    max_in = max((graph.in_degree(v) for v in graph.nodes()), default=0)
+    return GraphStats(
+        name=name or graph.name or "unnamed",
+        nodes=n,
+        edges=m,
+        average_degree=average_degree,
+        effective_diameter=effective_diameter(
+            graph, sample_size=diameter_sample_size, seed=seed
+        ),
+        max_out_degree=max_out,
+        max_in_degree=max_in,
+        weakly_connected_components=len(weakly_connected_components(graph)),
+    )

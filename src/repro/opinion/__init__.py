@@ -1,0 +1,23 @@
+"""Opinion and interaction annotation, estimation and case-study pipelines."""
+
+from repro.opinion.annotate import annotate_interactions, annotate_opinions
+from repro.opinion.estimation import (
+    estimate_interactions_from_agreements,
+    estimate_opinion_from_history,
+)
+from repro.opinion.sentiment import SentimentAnalyzer
+from repro.opinion.topics import TopicSubgraphBuilder, TopicSubgraph
+from repro.opinion.churn import ChurnAnalysis, build_similarity_graph, label_propagation
+
+__all__ = [
+    "annotate_opinions",
+    "annotate_interactions",
+    "estimate_opinion_from_history",
+    "estimate_interactions_from_agreements",
+    "SentimentAnalyzer",
+    "TopicSubgraphBuilder",
+    "TopicSubgraph",
+    "ChurnAnalysis",
+    "build_similarity_graph",
+    "label_propagation",
+]

@@ -1,0 +1,117 @@
+"""A deterministic lexicon-based sentiment analyser.
+
+The paper scores 476M real tweets with commercial sentiment APIs to obtain
+node opinions.  Those APIs are not available offline, so the Twitter case
+study substitutes a small, fully deterministic lexicon scorer with the same
+two-stage structure the paper describes: first decide whether the text is
+neutral, then score its polarity in ``[-1, 1]``.
+
+The synthetic tweet generator (:mod:`repro.datasets.tweets`) composes tweets
+from this lexicon plus noise words, so the analyser recovers the latent
+sentiment with realistic (non-zero) estimation error — which is exactly the
+mechanism the paper's Figs. 5a/5b measure.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+#: Polarity lexicon: word -> score contribution.
+DEFAULT_LEXICON: Dict[str, float] = {
+    # strongly positive
+    "love": 1.0, "amazing": 1.0, "fantastic": 1.0, "perfect": 0.9, "brilliant": 0.9,
+    "excellent": 0.9, "awesome": 0.9, "best": 0.8, "great": 0.7, "happy": 0.7,
+    "wonderful": 0.8, "impressive": 0.7, "recommend": 0.6, "enjoy": 0.6, "good": 0.5,
+    "nice": 0.4, "like": 0.4, "cool": 0.4, "fine": 0.2, "works": 0.3,
+    # strongly negative
+    "hate": -1.0, "terrible": -1.0, "awful": -0.9, "horrible": -0.9, "worst": -0.9,
+    "broken": -0.8, "useless": -0.8, "disappointing": -0.7, "disappointed": -0.7,
+    "bad": -0.6, "poor": -0.6, "slow": -0.4, "expensive": -0.4, "annoying": -0.5,
+    "problem": -0.4, "bug": -0.5, "crash": -0.7, "fail": -0.6, "boring": -0.4,
+    "meh": -0.2,
+}
+
+#: Words that flip the polarity of the following sentiment word.
+NEGATIONS = frozenset({"not", "no", "never", "hardly", "barely", "isnt", "dont", "cant"})
+
+#: Words that amplify the following sentiment word.
+INTENSIFIERS: Dict[str, float] = {
+    "very": 1.5, "really": 1.4, "extremely": 1.8, "so": 1.3, "totally": 1.5,
+    "absolutely": 1.7, "slightly": 0.6, "somewhat": 0.7, "kinda": 0.7,
+}
+
+_TOKEN_PATTERN = re.compile(r"[a-z']+")
+
+
+@dataclass
+class SentimentResult:
+    """Outcome of scoring one text."""
+
+    score: float
+    is_neutral: bool
+    matched_terms: int
+
+
+class SentimentAnalyzer:
+    """Two-stage lexicon sentiment scorer producing opinions in ``[-1, 1]``.
+
+    Stage 1 (neutrality): a text with no lexicon hit is neutral (score 0).
+    Stage 2 (polarity): the mean of the matched term scores, adjusted for
+    negation and intensifiers, clipped to ``[-1, 1]``.
+    """
+
+    def __init__(
+        self,
+        lexicon: Optional[Mapping[str, float]] = None,
+        neutral_threshold: float = 0.05,
+    ) -> None:
+        self.lexicon = dict(DEFAULT_LEXICON if lexicon is None else lexicon)
+        self.neutral_threshold = float(neutral_threshold)
+
+    # ------------------------------------------------------------------ API
+
+    def tokenize(self, text: str) -> list[str]:
+        """Lowercase word tokens (hashtags and mentions stripped of markers)."""
+        return _TOKEN_PATTERN.findall(text.lower().replace("#", " ").replace("@", " "))
+
+    def analyze(self, text: str) -> SentimentResult:
+        """Score one text."""
+        tokens = self.tokenize(text)
+        total = 0.0
+        matches = 0
+        for position, token in enumerate(tokens):
+            base = self.lexicon.get(token)
+            if base is None:
+                continue
+            weight = 1.0
+            if position > 0:
+                previous = tokens[position - 1]
+                if previous in INTENSIFIERS:
+                    weight *= INTENSIFIERS[previous]
+                    if position > 1 and tokens[position - 2] in NEGATIONS:
+                        weight *= -1.0
+                elif previous in NEGATIONS:
+                    weight *= -1.0
+            total += base * weight
+            matches += 1
+        if matches == 0:
+            return SentimentResult(score=0.0, is_neutral=True, matched_terms=0)
+        score = max(-1.0, min(1.0, total / matches))
+        return SentimentResult(
+            score=score,
+            is_neutral=abs(score) < self.neutral_threshold,
+            matched_terms=matches,
+        )
+
+    def score(self, text: str) -> float:
+        """Convenience wrapper returning only the opinion value."""
+        return self.analyze(text).score
+
+    def score_user(self, texts: Iterable[str]) -> float:
+        """Average opinion over a user's texts (0 when the user has none)."""
+        scores = [self.analyze(text).score for text in texts]
+        if not scores:
+            return 0.0
+        return float(sum(scores) / len(scores))

@@ -1,0 +1,71 @@
+"""Memory measurement helpers.
+
+The paper's scalability story (Figs. 5h, 6i, 6j, 7j and Tables 3-4) is about
+the *additional* memory an algorithm allocates over and above the graph it
+operates on.  :class:`MemoryTracker` measures exactly that with
+:mod:`tracemalloc`, which tracks Python-level allocations and is therefore
+portable across platforms (unlike RSS-based measurements).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+_BYTES_PER_MB = 1024.0 * 1024.0
+
+
+@dataclass
+class MemorySnapshot:
+    """Peak and current traced allocation sizes, in megabytes."""
+
+    current_mb: float
+    peak_mb: float
+
+
+class MemoryTracker:
+    """Context manager measuring peak Python allocations inside its block.
+
+    Nested usage is supported: the tracker records the delta between the peak
+    during the block and the traced size when the block started, which is the
+    quantity reported as "ExecutionMemory" in the paper's stacked bar charts.
+    """
+
+    def __init__(self) -> None:
+        self.snapshot: MemorySnapshot | None = None
+        self._was_tracing = False
+        self._baseline = 0
+
+    def __enter__(self) -> "MemoryTracker":
+        self._was_tracing = tracemalloc.is_tracing()
+        if not self._was_tracing:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        self._baseline, _ = tracemalloc.get_traced_memory()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        current, peak = tracemalloc.get_traced_memory()
+        self.snapshot = MemorySnapshot(
+            current_mb=max(0.0, (current - self._baseline) / _BYTES_PER_MB),
+            peak_mb=max(0.0, (peak - self._baseline) / _BYTES_PER_MB),
+        )
+        if not self._was_tracing:
+            tracemalloc.stop()
+
+    @property
+    def peak_mb(self) -> float:
+        """Peak additional memory allocated inside the block, in MB."""
+        if self.snapshot is None:
+            raise RuntimeError("MemoryTracker has not finished measuring yet")
+        return self.snapshot.peak_mb
+
+
+def peak_memory_mb(func: Callable[..., T], *args: object, **kwargs: object) -> tuple[T, float]:
+    """Call ``func`` and return ``(result, peak_additional_memory_mb)``."""
+    with MemoryTracker() as tracker:
+        result = func(*args, **kwargs)
+    return result, tracker.peak_mb

@@ -1,0 +1,74 @@
+"""Small wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    The timer can be started and stopped repeatedly; :attr:`elapsed` reports
+    the total time spent inside start/stop pairs.  It also works as a context
+    manager::
+
+        timer = Timer()
+        with timer:
+            run_expensive_step()
+        print(timer.elapsed)
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        if self._started_at is not None:
+            raise RuntimeError("timer is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("timer is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Context manager yielding a one-shot :class:`Timer`."""
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        if timer.running:
+            timer.stop()
+
+
+def time_call(func: Callable[..., T], *args: object, **kwargs: object) -> tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,76 @@
+"""Parameter validation helpers shared by models, algorithms and datasets.
+
+The helpers raise :class:`repro.exceptions.ConfigurationError` (a ``ValueError``
+subclass) with a message naming the offending parameter, so user-facing APIs
+fail fast with actionable errors instead of propagating obscure numpy errors
+from deep inside a simulation.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Type, TypeVar
+
+from repro.exceptions import ConfigurationError
+
+T = TypeVar("T")
+
+
+def check_type(name: str, value: T, expected: Type | tuple[Type, ...]) -> T:
+    """Ensure ``value`` is an instance of ``expected``; return it unchanged."""
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " or ".join(t.__name__ for t in expected)
+        )
+        raise ConfigurationError(
+            f"{name} must be {expected_names}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_positive(name: str, value: Real) -> Real:
+    """Ensure ``value`` is strictly positive."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {type(value).__name__}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: Real) -> Real:
+    """Ensure ``value`` is zero or positive."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {type(value).__name__}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: Real) -> float:
+    """Ensure ``value`` lies in the closed interval [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_in_range(name: str, value: Real, low: float, high: float) -> float:
+    """Ensure ``low <= value <= high`` and return it as a ``float``."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if not (low <= value <= high):
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_budget(name: str, budget: int, population: int) -> int:
+    """Ensure a seed budget is a positive integer not exceeding ``population``."""
+    if isinstance(budget, bool) or not isinstance(budget, int):
+        raise ConfigurationError(f"{name} must be an int, got {type(budget).__name__}")
+    if budget <= 0:
+        raise ConfigurationError(f"{name} must be >= 1, got {budget}")
+    if budget > population:
+        from repro.exceptions import BudgetError
+
+        raise BudgetError(budget, population)
+    return budget

@@ -1,0 +1,200 @@
+"""Unit tests for the score-assignment algorithms: EaSyIM, OSIM and Path-Union.
+
+The key correctness claims of the paper are validated here:
+
+* EaSyIM's score equals the exact path-weight sum on trees and DAGs
+  (Conclusions 2-3);
+* OSIM's score equals the closed-form opinion spread on a single path
+  (Lemmas 8-9);
+* discounting activated nodes removes their contribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.easyim import easyim_scores, resolve_edge_probabilities
+from repro.algorithms.osim import osim_scores
+from repro.algorithms.path_union import otimes, path_union_scores, probability_matrix
+from repro.analysis.paths import exact_path_score, opinion_path_spread
+from repro.exceptions import ConfigurationError
+from repro.graphs import DiGraph, path_graph, random_dag, random_tree
+from repro.graphs.generators import cycle_graph
+
+
+class TestEaSyIMScores:
+    def test_single_edge(self):
+        graph = DiGraph()
+        graph.add_edge(0, 1, probability=0.4)
+        scores = easyim_scores(graph.compile(), max_path_length=1)
+        compiled = graph.compile()
+        assert scores[compiled.index_of[0]] == pytest.approx(0.4)
+        assert scores[compiled.index_of[1]] == pytest.approx(0.0)
+
+    def test_path_accumulation(self):
+        # 0 -> 1 -> 2 with p = 0.5: Delta_2(0) = 0.5 + 0.5*0.5 = 0.75.
+        graph = path_graph(3, probability=0.5)
+        compiled = graph.compile()
+        scores_l1 = easyim_scores(compiled, max_path_length=1)
+        scores_l2 = easyim_scores(compiled, max_path_length=2)
+        assert scores_l1[compiled.index_of[0]] == pytest.approx(0.5)
+        assert scores_l2[compiled.index_of[0]] == pytest.approx(0.75)
+
+    def test_invalid_path_length(self, figure1):
+        with pytest.raises(ConfigurationError):
+            easyim_scores(figure1.compile(), max_path_length=0)
+
+    def test_matches_exact_path_sum_on_tree(self):
+        graph = random_tree(40, seed=2, random_probabilities=True)
+        compiled = graph.compile()
+        scores = easyim_scores(compiled, max_path_length=4)
+        for label in list(graph.nodes())[:10]:
+            expected = exact_path_score(graph, label, max_length=4)
+            assert scores[compiled.index_of[label]] == pytest.approx(expected, rel=1e-9)
+
+    def test_matches_exact_path_sum_on_dag(self):
+        graph = random_dag(14, edge_probability=0.25, seed=3, random_probabilities=True)
+        compiled = graph.compile()
+        scores = easyim_scores(compiled, max_path_length=3)
+        for label in graph.nodes():
+            expected = exact_path_score(graph, label, max_length=3)
+            assert scores[compiled.index_of[label]] == pytest.approx(expected, rel=1e-9)
+
+    def test_active_mask_discounts_contributions(self):
+        graph = path_graph(3, probability=0.5)
+        compiled = graph.compile()
+        active = np.zeros(3, dtype=bool)
+        active[compiled.index_of[1]] = True
+        scores = easyim_scores(compiled, active=active, max_path_length=2)
+        # Edge 0 -> 1 is dead, so node 0 scores 0.
+        assert scores[compiled.index_of[0]] == pytest.approx(0.0)
+
+    def test_score_increases_with_path_length(self, small_ic_graph):
+        compiled = small_ic_graph.compile()
+        short = easyim_scores(compiled, max_path_length=1)
+        long = easyim_scores(compiled, max_path_length=3)
+        assert np.all(long >= short - 1e-12)
+
+    def test_wc_weighting_uses_in_degree(self):
+        graph = DiGraph()
+        graph.add_edge(0, 2, probability=0.9)
+        graph.add_edge(1, 2, probability=0.9)
+        compiled = graph.compile()
+        ic = resolve_edge_probabilities(compiled, "ic")
+        wc = resolve_edge_probabilities(compiled, "wc")
+        assert ic[0] == pytest.approx(0.9)
+        assert wc[0] == pytest.approx(0.5)
+
+    def test_lt_weighting_prefers_annotated_weights(self):
+        graph = DiGraph()
+        graph.add_edge(0, 1, probability=0.9, weight=0.25)
+        compiled = graph.compile()
+        lt = resolve_edge_probabilities(compiled, "lt")
+        assert lt[0] == pytest.approx(0.25)
+
+    def test_unknown_weighting_rejected(self, figure1):
+        with pytest.raises(ConfigurationError):
+            resolve_edge_probabilities(figure1.compile(), "bogus")
+
+
+class TestOSIMScores:
+    def test_figure1_ranking_prefers_a(self, figure1):
+        compiled = figure1.compile()
+        scores = osim_scores(compiled, max_path_length=3)
+        by_label = {label: scores[i] for label, i in compiled.index_of.items()}
+        # OSIM must rank A above C (C activates the negative-opinion node D).
+        assert by_label["A"] > by_label["C"]
+
+    def test_matches_closed_form_on_path(self):
+        """Lemma 9: on a single path the OSIM score equals the opinion spread."""
+        rng = np.random.default_rng(4)
+        for trial in range(5):
+            length = int(rng.integers(2, 6))
+            graph = DiGraph()
+            opinions = rng.uniform(-1, 1, size=length + 1)
+            for i in range(length + 1):
+                graph.add_node(i, opinion=float(opinions[i]))
+            for i in range(length):
+                graph.add_edge(
+                    i, i + 1,
+                    probability=float(rng.uniform(0.2, 1.0)),
+                    interaction=float(rng.uniform(0.0, 1.0)),
+                )
+            compiled = graph.compile()
+            scores = osim_scores(compiled, max_path_length=length)
+            expected = opinion_path_spread(graph, list(range(length + 1)))
+            assert scores[compiled.index_of[0]] == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    def test_zero_opinions_give_zero_scores(self):
+        graph = path_graph(4, probability=0.5)
+        for node in graph.nodes():
+            graph.set_opinion(node, 0.0)
+        scores = osim_scores(graph.compile(), max_path_length=3)
+        assert np.allclose(scores, 0.0)
+
+    def test_positive_opinions_give_positive_scores(self):
+        graph = path_graph(4, probability=0.5)
+        for node in graph.nodes():
+            graph.set_opinion(node, 0.8)
+        compiled = graph.compile()
+        scores = osim_scores(compiled, max_path_length=3)
+        assert scores[compiled.index_of[0]] > 0.0
+
+    def test_active_mask_discounts(self, figure1):
+        compiled = figure1.compile()
+        active = np.zeros(4, dtype=bool)
+        active[compiled.index_of["D"]] = True
+        scores = osim_scores(compiled, active=active, max_path_length=3)
+        # With D discounted, A's only outgoing contribution disappears.
+        assert scores[compiled.index_of["A"]] == pytest.approx(0.0)
+
+    def test_invalid_path_length(self, figure1):
+        with pytest.raises(ConfigurationError):
+            osim_scores(figure1.compile(), max_path_length=0)
+
+
+class TestPathUnion:
+    def test_probability_matrix(self, figure1):
+        compiled = figure1.compile()
+        matrix = probability_matrix(compiled)
+        a, d = compiled.index_of["A"], compiled.index_of["D"]
+        assert matrix[a, d] == pytest.approx(0.8)
+        assert matrix[d, a] == pytest.approx(0.0)
+
+    def test_otimes_single_path(self):
+        left = np.array([[0.0, 0.5], [0.0, 0.0]])
+        right = np.array([[0.0, 0.0], [0.4, 0.0]])
+        combined = otimes(left, right)
+        assert combined[0, 0] == pytest.approx(0.2)
+
+    def test_otimes_probabilistic_or(self):
+        # Two parallel contributions 0.5*0.5 each combine as 1-(1-0.25)^2.
+        left = np.array([[0.5, 0.5]])
+        right = np.array([[0.5], [0.5]])
+        combined = otimes(left, right)
+        assert combined[0, 0] == pytest.approx(1.0 - 0.75 ** 2)
+
+    def test_otimes_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            otimes(np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_matches_easyim_on_tree(self):
+        """On a tree (disjoint paths) PU and EaSyIM agree."""
+        graph = random_tree(20, seed=6, random_probabilities=True)
+        compiled = graph.compile()
+        pu = path_union_scores(compiled, max_path_length=3)
+        easy = easyim_scores(compiled, max_path_length=3)
+        assert np.allclose(pu, easy, rtol=1e-9)
+
+    def test_cycle_discount_reduces_scores(self):
+        graph = cycle_graph(3, probability=0.5)
+        compiled = graph.compile()
+        with_discount = path_union_scores(compiled, max_path_length=3, cycle_discount=True)
+        without_discount = path_union_scores(compiled, max_path_length=3, cycle_discount=False)
+        assert np.all(without_discount >= with_discount)
+        assert np.any(without_discount > with_discount)
+
+    def test_invalid_path_length(self, figure1):
+        with pytest.raises(ConfigurationError):
+            path_union_scores(figure1.compile(), max_path_length=0)

@@ -1,0 +1,163 @@
+"""Unit tests for the benchmark harness, reporting helpers and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    EXPERIMENTS,
+    ExperimentResult,
+    format_series_table,
+    format_table,
+    get_experiment,
+    measure_selection,
+    run_k_sweep,
+)
+from repro.bench.experiments import experiment_index_rows
+from repro.cli import build_parser, main
+from repro.core.evaluation import SeedSetEvaluation
+from repro.exceptions import ConfigurationError
+
+
+class TestHarness:
+    def test_measure_selection(self, small_ic_graph):
+        run = measure_selection(small_ic_graph, "high-degree", budget=3, dataset="tiny")
+        assert run.algorithm == "high-degree"
+        assert run.dataset == "tiny"
+        assert len(run.seeds) == 3
+        assert run.runtime_seconds >= 0.0
+        assert run.peak_memory_mb >= 0.0
+
+    def test_measure_selection_with_options(self, small_ic_graph):
+        run = measure_selection(
+            small_ic_graph, "easyim", budget=2, max_path_length=1, seed=0
+        )
+        assert run.algorithm == "easyim"
+
+    def test_run_k_sweep(self, small_ic_graph):
+        run, evaluation = run_k_sweep(
+            small_ic_graph,
+            "high-degree",
+            evaluation_model="ic",
+            seed_counts=[0, 2, 4],
+            simulations=50,
+        )
+        assert len(run.seeds) == 4
+        assert evaluation.seed_counts == [0, 2, 4]
+        assert evaluation.values[0] == 0.0
+
+    def test_experiment_result_rows(self):
+        result = ExperimentResult(experiment="demo")
+        result.add_row(dataset="x", value=1.5)
+        assert result.rows == [{"dataset": "x", "value": 1.5}]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "b": "long-value"}, {"a": 123456.789, "b": "x"}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_series_table(self):
+        series = [
+            SeedSetEvaluation("alg1", [0, 5], [0.0, 2.0], "spread"),
+            SeedSetEvaluation("alg2", [0, 5], [0.0, 3.0], "spread"),
+        ]
+        text = format_series_table(series, value_label="spread")
+        assert "alg1" in text and "alg2" in text
+        assert "(no series)" in format_series_table([])
+
+
+class TestExperimentRegistry:
+    def test_every_figure_and_table_present(self):
+        identifiers = set(EXPERIMENTS)
+        for expected in ("table2", "fig2", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e",
+                         "fig5f", "fig5g", "fig5h", "fig6a-c", "fig6d-e", "fig6f-h",
+                         "fig6i-j", "table3", "table4", "fig7a-c", "fig7d-e", "fig7f-i",
+                         "fig7j", "ablations"):
+            assert expected in identifiers
+
+    def test_every_experiment_names_a_bench_module(self, tmp_path):
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parents[1]
+        for spec in EXPERIMENTS.values():
+            assert (repo_root / spec.bench_module).exists(), spec.bench_module
+
+    def test_get_experiment(self):
+        spec = get_experiment("Fig5F")
+        assert spec.paper_reference == "Figure 5(f)"
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+    def test_experiment_index_rows(self):
+        rows = experiment_index_rows()
+        assert len(rows) == len(EXPERIMENTS)
+        assert all({"id", "paper", "description", "bench"} <= set(r) for r in rows)
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "nethept" in output
+        assert "friendster" in output
+
+    def test_experiments_command(self, capsys):
+        assert main(["experiments"]) == 0
+        assert "Figure 5(f)" in capsys.readouterr().out
+
+    def test_select_command_json(self, capsys):
+        code = main([
+            "select", "--dataset", "nethept", "--scale", "0.1", "--seed", "1",
+            "--algorithm", "easyim", "--budget", "3", "--simulations", "50", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "easyim"
+        assert len(payload["seeds"]) == 3
+
+    def test_select_command_opinion_aware(self, capsys):
+        code = main([
+            "select", "--dataset", "nethept", "--scale", "0.1", "--seed", "1",
+            "--algorithm", "osim", "--model", "oi-ic", "--budget", "2",
+            "--simulations", "50", "--annotate", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["seeds"]) == 2
+
+    def test_evaluate_command(self, capsys):
+        code = main([
+            "evaluate", "--dataset", "nethept", "--scale", "0.1", "--seed", "1",
+            "--model", "ic", "--seeds", "0,1,2", "--simulations", "50", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spread"] >= 0.0
+
+    def test_evaluate_edge_list(self, tmp_path, capsys, figure1):
+        from repro.graphs.io import write_edge_list
+
+        path = tmp_path / "graph.txt"
+        write_edge_list(figure1, path)
+        code = main([
+            "evaluate", "--edge-list", str(path), "--model", "oi-ic",
+            "--seeds", "A", "--simulations", "200", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["opinion_spread"] == pytest.approx(0.136, abs=0.1)

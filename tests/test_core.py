@@ -1,0 +1,172 @@
+"""Unit tests for the core public API: problems, the facade and evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import HighDegreeSelector
+from repro.core import (
+    IMProblem,
+    InfluenceMaximizer,
+    MEOProblem,
+    compare_seed_sets,
+    evaluate_seed_prefixes,
+    normalized_rmse_curve,
+)
+from repro.core.evaluation import spread_deviation_percent
+from repro.exceptions import BudgetError, ConfigurationError, MissingAnnotationError
+from repro.graphs import figure1_example_graph
+
+
+class TestIMProblem:
+    def test_construction(self, small_ic_graph):
+        problem = IMProblem(small_ic_graph, budget=3, model="ic")
+        assert problem.objective == "spread"
+        assert problem.model_name == "ic"
+        assert problem.compile().number_of_nodes == small_ic_graph.number_of_nodes
+
+    def test_budget_validation(self, small_ic_graph):
+        with pytest.raises(ConfigurationError):
+            IMProblem(small_ic_graph, budget=0)
+        with pytest.raises(BudgetError):
+            IMProblem(small_ic_graph, budget=10_000)
+
+    def test_graph_type_validation(self):
+        with pytest.raises(ConfigurationError):
+            IMProblem("not-a-graph", budget=1)
+
+
+class TestMEOProblem:
+    def test_construction(self, annotated_small_graph):
+        problem = MEOProblem(annotated_small_graph, budget=3, model="oi-ic", penalty=1.0)
+        assert problem.objective == "effective-opinion"
+        assert problem.model_name == "oi-ic"
+
+    def test_requires_opinion_aware_model(self, annotated_small_graph):
+        with pytest.raises(ConfigurationError):
+            MEOProblem(annotated_small_graph, budget=3, model="ic")
+
+    def test_requires_opinion_annotation(self, small_ic_graph):
+        with pytest.raises(MissingAnnotationError):
+            MEOProblem(small_ic_graph, budget=3, model="oi-ic")
+
+    def test_penalty_validation(self, annotated_small_graph):
+        with pytest.raises(ConfigurationError):
+            MEOProblem(annotated_small_graph, budget=3, penalty=-0.5)
+
+
+class TestInfluenceMaximizer:
+    def test_im_problem_with_easyim(self, small_ic_graph):
+        problem = IMProblem(small_ic_graph, budget=4, model="ic")
+        result = InfluenceMaximizer(
+            problem, algorithm="easyim", simulations=100, seed=0, max_path_length=2
+        ).run()
+        assert len(result.seeds) == 4
+        assert result.expected_spread is not None
+        assert result.expected_spread >= 0.0
+        assert result.metadata["model"] == "ic"
+
+    def test_meo_problem_with_osim(self, annotated_small_graph):
+        problem = MEOProblem(annotated_small_graph, budget=3, model="oi-ic")
+        result = InfluenceMaximizer(
+            problem, algorithm="osim", simulations=100, seed=0
+        ).run()
+        assert len(result.seeds) == 3
+        assert result.objective == "effective-opinion"
+        assert result.estimate is not None
+
+    def test_figure1_selection_matches_paper(self):
+        graph = figure1_example_graph()
+        ic_result = InfluenceMaximizer(
+            IMProblem(graph, budget=1, model="ic"),
+            algorithm="greedy", simulations=400, seed=0,
+        ).run()
+        oi_result = InfluenceMaximizer(
+            MEOProblem(graph, budget=1, model="oi-ic"),
+            algorithm="osim", simulations=400, seed=0,
+        ).run()
+        assert ic_result.seeds == ["C"]
+        assert oi_result.seeds == ["A"]
+
+    def test_prebuilt_selector(self, small_ic_graph):
+        problem = IMProblem(small_ic_graph, budget=2)
+        result = InfluenceMaximizer(problem, algorithm=HighDegreeSelector(),
+                                    simulations=50, seed=0).run()
+        assert result.algorithm == "high-degree"
+
+    def test_prebuilt_selector_rejects_options(self, small_ic_graph):
+        problem = IMProblem(small_ic_graph, budget=2)
+        with pytest.raises(ConfigurationError):
+            InfluenceMaximizer(problem, algorithm=HighDegreeSelector(), max_path_length=3)
+
+    def test_evaluate_false_skips_estimation(self, small_ic_graph):
+        problem = IMProblem(small_ic_graph, budget=2)
+        result = InfluenceMaximizer(problem, algorithm="high-degree", evaluate=False).run()
+        assert result.expected_spread is None
+        assert result.estimate is None
+
+    def test_invalid_problem_type(self):
+        with pytest.raises(ConfigurationError):
+            InfluenceMaximizer("nope", algorithm="easyim")
+
+    def test_tim_gets_opinion_oblivious_model(self, annotated_small_graph):
+        problem = MEOProblem(annotated_small_graph, budget=2, model="oi-ic")
+        maximizer = InfluenceMaximizer(
+            problem, algorithm="tim+", simulations=50, seed=0,
+            epsilon=0.4, max_rr_sets=1000,
+        )
+        result = maximizer.run()
+        assert len(result.seeds) == 2
+
+    def test_result_iteration(self, small_ic_graph):
+        problem = IMProblem(small_ic_graph, budget=3)
+        result = InfluenceMaximizer(problem, algorithm="high-degree",
+                                    simulations=20, seed=0).run()
+        assert len(list(result)) == 3
+        assert len(result) == 3
+
+
+class TestEvaluationHelpers:
+    def test_evaluate_seed_prefixes_monotone_counts(self, small_ic_graph):
+        seeds = HighDegreeSelector().select(small_ic_graph, 6).seeds
+        evaluation = evaluate_seed_prefixes(
+            small_ic_graph, "ic", seeds, [0, 2, 4, 6], simulations=100, seed=0
+        )
+        assert evaluation.seed_counts == [0, 2, 4, 6]
+        assert evaluation.values[0] == 0.0
+        assert len(evaluation.values) == 4
+        assert evaluation.as_series()[2] == evaluation.values[1]
+
+    def test_evaluate_seed_prefixes_k_out_of_range(self, small_ic_graph):
+        seeds = HighDegreeSelector().select(small_ic_graph, 3).seeds
+        with pytest.raises(ConfigurationError):
+            evaluate_seed_prefixes(small_ic_graph, "ic", seeds, [5], simulations=10)
+
+    def test_compare_seed_sets_labels(self, annotated_small_graph):
+        high_degree = HighDegreeSelector().select(annotated_small_graph, 4).seeds
+        reversed_seeds = list(reversed(high_degree))
+        evaluations = compare_seed_sets(
+            annotated_small_graph,
+            "oi-ic",
+            {"forward": high_degree, "backward": reversed_seeds},
+            seed_counts=[0, 2, 4],
+            simulations=50,
+        )
+        assert {e.label for e in evaluations} == {"forward", "backward"}
+        assert all(e.objective == "effective-opinion" for e in evaluations)
+
+    def test_normalized_rmse_curve(self):
+        results = normalized_rmse_curve(
+            {"perfect": [1.0, 2.0], "biased": [2.0, 3.0]}, [1.0, 2.0]
+        )
+        assert results["perfect"] == pytest.approx(0.0)
+        assert results["biased"] > 0.0
+        with pytest.raises(ConfigurationError):
+            normalized_rmse_curve({"x": [1.0]}, [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            normalized_rmse_curve({"x": [1.0]}, [])
+
+    def test_spread_deviation_percent(self):
+        assert spread_deviation_percent(95.0, 100.0) == pytest.approx(5.0)
+        assert spread_deviation_percent(0.0, 0.0) == 0.0
+        assert spread_deviation_percent(1.0, 0.0) == float("inf")

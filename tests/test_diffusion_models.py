@@ -1,0 +1,304 @@
+"""Unit tests for the diffusion models (IC, WC, LT, live-edge, OI, IC-N, OC)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    ICNModel,
+    IndependentCascadeModel,
+    LinearThresholdModel,
+    LiveEdgeModel,
+    OCModel,
+    OpinionInteractionModel,
+    WeightedCascadeModel,
+    available_models,
+    get_model,
+)
+from repro.diffusion.base import validate_seed_indices
+from repro.exceptions import ConfigurationError
+from repro.graphs import DiGraph, path_graph
+from repro.utils.rng import ensure_rng
+
+
+def _simulate(model, graph, seeds, seed=0):
+    """Simulate with seeds given as node *labels* (mapped to compiled indices)."""
+    compiled = graph.compile()
+    indices = [compiled.index_of.get(s, s) for s in seeds]
+    return model.simulate(compiled, indices, ensure_rng(seed))
+
+
+class TestSeedValidation:
+    def test_duplicates_removed(self, figure1):
+        compiled = figure1.compile()
+        assert validate_seed_indices(compiled, [0, 0, 1]) == (0, 1)
+
+    def test_out_of_range_rejected(self, figure1):
+        compiled = figure1.compile()
+        with pytest.raises(ValueError):
+            validate_seed_indices(compiled, [99])
+
+
+class TestIndependentCascade:
+    def test_deterministic_chain(self, line_graph):
+        outcome = _simulate(IndependentCascadeModel(), line_graph, [0])
+        assert outcome.spread() == 4.0
+        assert len(outcome.activated) == 5
+
+    def test_zero_probability_no_spread(self):
+        graph = path_graph(4, probability=0.0)
+        outcome = _simulate(IndependentCascadeModel(), graph, [0])
+        assert outcome.spread() == 0.0
+
+    def test_seed_not_counted_in_spread(self, line_graph):
+        outcome = _simulate(IndependentCascadeModel(), line_graph, [0, 1])
+        assert outcome.spread() == 3.0
+
+    def test_active_set_monotone_in_seeds(self, small_dag):
+        model = IndependentCascadeModel()
+        compiled = small_dag.compile()
+        single = model.simulate(compiled, [0], ensure_rng(3))
+        double = model.simulate(compiled, [0, 1], ensure_rng(3))
+        assert len(double.activated) >= 1
+
+    def test_expected_spread_matches_hand_computation(self, figure1):
+        # sigma(A) = p_AD = 0.8 and sigma(C) = p_CD = 0.9 (Example 2).
+        compiled = figure1.compile()
+        model = IndependentCascadeModel()
+        rng = ensure_rng(0)
+        a_index = compiled.index_of["A"]
+        c_index = compiled.index_of["C"]
+        spreads_a = [model.simulate(compiled, [a_index], rng).spread() for _ in range(3000)]
+        spreads_c = [model.simulate(compiled, [c_index], rng).spread() for _ in range(3000)]
+        assert np.mean(spreads_a) == pytest.approx(0.8, abs=0.05)
+        assert np.mean(spreads_c) == pytest.approx(0.9, abs=0.05)
+
+    def test_final_opinions_are_initial_opinions(self, figure1):
+        compiled = figure1.compile()
+        outcome = IndependentCascadeModel().simulate(
+            compiled, [compiled.index_of["A"]], ensure_rng(1)
+        )
+        for node, opinion in outcome.final_opinions.items():
+            assert opinion == pytest.approx(float(compiled.opinions[node]))
+
+
+class TestWeightedCascade:
+    def test_probability_is_inverse_in_degree(self):
+        graph = DiGraph()
+        graph.add_edge(0, 2, probability=0.9)
+        graph.add_edge(1, 2, probability=0.9)
+        compiled = graph.compile()
+        model = WeightedCascadeModel()
+        probabilities = model.edge_probabilities(compiled, compiled.index_of[0])
+        assert probabilities[0] == pytest.approx(0.5)
+
+    def test_single_parent_always_activates(self):
+        graph = path_graph(4, probability=0.0)  # stored p ignored under WC
+        outcome = _simulate(WeightedCascadeModel(), graph, [0])
+        assert outcome.spread() == 3.0
+
+    def test_cache_reused_per_graph(self):
+        graph = path_graph(5)
+        compiled = graph.compile()
+        model = WeightedCascadeModel()
+        first = model._probabilities_for(compiled)
+        second = model._probabilities_for(compiled)
+        assert first is second
+
+
+class TestLinearThreshold:
+    def test_annotated_thresholds_respected(self):
+        graph = DiGraph()
+        graph.add_edge(0, 1)
+        graph.set_linear_threshold_weights()
+        graph.set_threshold(1, 0.5)  # single in-edge weight 1.0 >= 0.5
+        outcome = _simulate(LinearThresholdModel(), graph, [0])
+        assert outcome.spread() == 1.0
+
+    def test_high_threshold_blocks_activation(self):
+        graph = DiGraph()
+        graph.add_edge(0, 2)
+        graph.add_edge(1, 2)
+        graph.set_linear_threshold_weights()
+        graph.set_threshold(2, 0.9)  # needs both parents; only one is seeded
+        outcome = _simulate(LinearThresholdModel(), graph, [0])
+        assert outcome.spread() == 0.0
+
+    def test_both_parents_activate(self):
+        graph = DiGraph()
+        graph.add_edge(0, 2)
+        graph.add_edge(1, 2)
+        graph.set_linear_threshold_weights()
+        graph.set_threshold(2, 0.9)
+        outcome = _simulate(LinearThresholdModel(), graph, [0, 1])
+        assert outcome.spread() == 1.0
+
+    def test_expected_spread_close_to_live_edge(self, small_ic_graph):
+        graph = small_ic_graph
+        graph.set_linear_threshold_weights()
+        compiled = graph.compile()
+        lt = LinearThresholdModel()
+        live = LiveEdgeModel()
+        rng_a = ensure_rng(5)
+        rng_b = ensure_rng(6)
+        simulations = 400
+        lt_mean = np.mean(
+            [lt.simulate(compiled, [0, 1], rng_a).spread() for _ in range(simulations)]
+        )
+        live_mean = np.mean(
+            [live.simulate(compiled, [0, 1], rng_b).spread() for _ in range(simulations)]
+        )
+        # Kempe's equivalence: the two formulations share the same expectation.
+        assert lt_mean == pytest.approx(live_mean, rel=0.25, abs=2.0)
+
+
+class TestLiveEdge:
+    def test_parent_sampling_respects_weights(self):
+        graph = DiGraph()
+        graph.add_edge(0, 1)
+        graph.set_linear_threshold_weights()
+        compiled = graph.compile()
+        model = LiveEdgeModel()
+        parents = model.sample_live_parents(compiled, ensure_rng(0))
+        assert parents[compiled.index_of[1]] == compiled.index_of[0]
+
+    def test_no_in_edges_no_parent(self):
+        graph = path_graph(3)
+        graph.set_linear_threshold_weights()
+        compiled = graph.compile()
+        parents = LiveEdgeModel().sample_live_parents(compiled, ensure_rng(0))
+        assert parents[compiled.index_of[0]] == -1
+
+
+class TestOpinionInteraction:
+    def test_invalid_first_layer(self):
+        with pytest.raises(ConfigurationError):
+            OpinionInteractionModel("bogus")
+
+    def test_seed_keeps_own_opinion(self, figure1):
+        compiled = figure1.compile()
+        outcome = OpinionInteractionModel("ic").simulate(
+            compiled, [compiled.index_of["A"]], ensure_rng(0)
+        )
+        assert outcome.final_opinions[compiled.index_of["A"]] == pytest.approx(0.8)
+
+    def test_opinion_mixing_agreement(self):
+        # A(o=0.8) -> D(o=-0.3), p=1, phi=1: o'_D = (-0.3 + 0.8)/2 = 0.25.
+        graph = DiGraph()
+        graph.add_node("A", opinion=0.8)
+        graph.add_node("D", opinion=-0.3)
+        graph.add_edge("A", "D", probability=1.0, interaction=1.0)
+        outcome = _simulate(OpinionInteractionModel("ic"), graph, [0])
+        compiled_opinion = list(outcome.final_opinions.values())
+        assert pytest.approx(0.25) in [round(v, 6) for v in compiled_opinion]
+
+    def test_opinion_mixing_disagreement(self):
+        # phi = 0 always flips the upstream opinion: o'_D = (-0.3 - 0.8)/2 = -0.55.
+        graph = DiGraph()
+        graph.add_node("A", opinion=0.8)
+        graph.add_node("D", opinion=-0.3)
+        graph.add_edge("A", "D", probability=1.0, interaction=0.0)
+        compiled = graph.compile()
+        outcome = OpinionInteractionModel("ic").simulate(
+            compiled, [compiled.index_of["A"]], ensure_rng(0)
+        )
+        assert outcome.final_opinions[compiled.index_of["D"]] == pytest.approx(-0.55)
+
+    def test_expected_opinion_spread_matches_example2(self, figure1):
+        compiled = figure1.compile()
+        model = OpinionInteractionModel("ic")
+        rng = ensure_rng(2)
+        a_index = compiled.index_of["A"]
+        values = [
+            model.simulate(compiled, [a_index], rng).opinion_spread()
+            for _ in range(4000)
+        ]
+        assert np.mean(values) == pytest.approx(0.136, abs=0.02)
+
+    def test_opinions_stay_in_range(self, annotated_small_graph):
+        compiled = annotated_small_graph.compile()
+        model = OpinionInteractionModel("ic")
+        outcome = model.simulate(compiled, [0, 1, 2], ensure_rng(3))
+        for opinion in outcome.final_opinions.values():
+            assert -1.0 <= opinion <= 1.0
+
+    def test_lt_first_layer_runs(self, annotated_small_graph):
+        annotated_small_graph.set_linear_threshold_weights()
+        compiled = annotated_small_graph.compile()
+        model = OpinionInteractionModel("lt")
+        outcome = model.simulate(compiled, [0, 1, 2], ensure_rng(4))
+        assert outcome.spread() >= 0.0
+        for opinion in outcome.final_opinions.values():
+            assert -1.0 <= opinion <= 1.0
+
+    def test_wc_first_layer_runs(self, annotated_small_graph):
+        compiled = annotated_small_graph.compile()
+        outcome = OpinionInteractionModel("wc").simulate(compiled, [0], ensure_rng(5))
+        assert outcome.spread() >= 0.0
+
+
+class TestICN:
+    def test_quality_factor_validation(self):
+        with pytest.raises(ConfigurationError):
+            ICNModel(quality_factor=1.5)
+
+    def test_all_positive_when_quality_one(self, line_graph):
+        outcome = _simulate(ICNModel(quality_factor=1.0), line_graph, [0])
+        assert all(v == 1.0 for v in outcome.final_opinions.values())
+
+    def test_all_negative_when_quality_zero(self, line_graph):
+        outcome = _simulate(ICNModel(quality_factor=0.0), line_graph, [0])
+        assert all(v == -1.0 for v in outcome.final_opinions.values())
+
+    def test_negativity_dominance(self, line_graph):
+        # Once a node turns negative, everything downstream is negative.
+        outcome = _simulate(ICNModel(quality_factor=0.5), line_graph, [0], seed=1)
+        opinions = [outcome.final_opinions[n] for n in outcome.activated]
+        if -1.0 in opinions:
+            first_negative = opinions.index(-1.0)
+            assert all(v == -1.0 for v in opinions[first_negative:])
+
+
+class TestOC:
+    def test_runs_and_mixes_opinions(self, annotated_small_graph):
+        annotated_small_graph.set_linear_threshold_weights()
+        compiled = annotated_small_graph.compile()
+        outcome = OCModel().simulate(compiled, [0, 1], ensure_rng(6))
+        for opinion in outcome.final_opinions.values():
+            assert -1.0 <= opinion <= 1.0
+
+    def test_single_edge_mixing(self):
+        graph = DiGraph()
+        graph.add_node(0, opinion=1.0)
+        graph.add_node(1, opinion=0.0)
+        graph.add_edge(0, 1)
+        graph.set_linear_threshold_weights()
+        graph.set_threshold(1, 0.5)
+        outcome = _simulate(OCModel(), graph, [0])
+        compiled = graph.compile()
+        assert outcome.final_opinions[compiled.index_of[1]] == pytest.approx(0.5)
+
+
+class TestRegistry:
+    def test_available_models(self):
+        names = available_models()
+        for expected in ("ic", "wc", "lt", "oi-ic", "oi-lt", "icn", "oc"):
+            assert expected in names
+
+    def test_get_model_instances(self):
+        assert isinstance(get_model("ic"), IndependentCascadeModel)
+        assert isinstance(get_model("oi-lt"), OpinionInteractionModel)
+        assert get_model("oi-lt").first_layer == "lt"
+
+    def test_get_model_with_parameters(self):
+        model = get_model("icn", quality_factor=0.7)
+        assert model.quality_factor == pytest.approx(0.7)
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            get_model("does-not-exist")
+
+    def test_model_passthrough(self):
+        model = IndependentCascadeModel()
+        assert get_model(model) is model

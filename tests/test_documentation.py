@@ -1,0 +1,70 @@
+"""Documentation-consistency tests.
+
+The README's quickstart snippet and the experiment index in DESIGN.md /
+EXPERIMENTS.md are the first things a new user touches; these tests keep them
+executable and in sync with the code.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _python_blocks(markdown: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", markdown, flags=re.DOTALL)
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self) -> str:
+        return (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+
+    def test_quickstart_snippets_execute(self, readme):
+        blocks = _python_blocks(readme)
+        assert blocks, "README must contain python quickstart blocks"
+        # Execute the blocks cumulatively (they form one narrative session);
+        # shrink the dataset so the documentation examples stay fast in CI.
+        namespace: dict = {}
+        for block in blocks:
+            code = block.replace('repro.load_dataset("nethept", seed=7)',
+                                 'repro.load_dataset("nethept", scale=0.1, seed=7)')
+            code = code.replace("budget=10", "budget=3")
+            exec(compile(code, "<README>", "exec"), namespace)  # noqa: S102
+
+    def test_mentions_all_deliverable_directories(self, readme):
+        for path in ("src/repro", "tests/", "benchmarks/", "examples/"):
+            assert path in readme
+
+    def test_examples_listed_in_readme_exist(self, readme):
+        for match in re.findall(r"`examples/([a-z_]+\.py)`", readme):
+            assert (REPO_ROOT / "examples" / match).exists(), match
+
+
+class TestDesignAndExperiments:
+    def test_design_md_lists_every_bench_module(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for spec in EXPERIMENTS.values():
+            module_name = spec.bench_module.split("/")[-1]
+            assert module_name in design or spec.bench_module in design, spec.identifier
+
+    def test_experiments_md_covers_every_table_and_figure(self):
+        experiments = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for fragment in ("Table 2", "Table 3", "Table 4", "Figure 2", "5(a)", "5(b)",
+                         "5(c)", "5(d)", "5(e)", "5(f)", "5(g)", "5(h)", "6(a)",
+                         "6(d)", "6(f)", "6(i)", "7(a)", "7(d)", "7(f)", "7(j)"):
+            assert fragment in experiments, fragment
+
+    def test_every_example_script_exists_and_has_docstring(self):
+        examples = sorted((REPO_ROOT / "examples").glob("*.py"))
+        assert len(examples) >= 4
+        for script in examples:
+            source = script.read_text(encoding="utf-8")
+            assert source.lstrip().startswith(("#!", '"""')), script.name
+            assert '"""' in source

@@ -1,0 +1,144 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graphs import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    forest_fire_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    random_dag,
+    random_tree,
+    star_graph,
+    stochastic_block_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.stats import is_dag, weakly_connected_components
+
+
+class TestDeterministicTopologies:
+    def test_path_graph(self):
+        graph = path_graph(5)
+        assert graph.number_of_nodes == 5
+        assert graph.number_of_edges == 4
+        assert graph.has_edge(0, 1) and graph.has_edge(3, 4)
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(4)
+        assert graph.number_of_edges == 4
+        assert graph.has_edge(3, 0)
+
+    def test_cycle_requires_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            cycle_graph(1)
+
+    def test_star_graph(self):
+        graph = star_graph(6)
+        assert graph.number_of_nodes == 7
+        assert graph.out_degree(0) == 6
+        assert all(graph.in_degree(leaf) == 1 for leaf in range(1, 7))
+
+    def test_complete_graph(self):
+        graph = complete_graph(4)
+        assert graph.number_of_edges == 12  # n * (n - 1) directed arcs
+
+
+class TestRandomGenerators:
+    def test_erdos_renyi_reproducible(self):
+        first = erdos_renyi_graph(30, 0.1, seed=7)
+        second = erdos_renyi_graph(30, 0.1, seed=7)
+        assert {(u, v) for u, v, _ in first.edges()} == {
+            (u, v) for u, v, _ in second.edges()
+        }
+
+    def test_erdos_renyi_density_scales(self):
+        sparse = erdos_renyi_graph(40, 0.02, seed=1)
+        dense = erdos_renyi_graph(40, 0.2, seed=1)
+        assert dense.number_of_edges > sparse.number_of_edges
+
+    def test_erdos_renyi_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_graph(10, 1.5, seed=0)
+
+    def test_barabasi_albert_bidirected(self):
+        graph = barabasi_albert_graph(50, attachment=2, seed=3)
+        assert graph.number_of_nodes == 50
+        for u, v, _ in graph.edges():
+            assert graph.has_edge(v, u)
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_graph(3, attachment=5, seed=0)
+
+    def test_watts_strogatz_degree(self):
+        graph = watts_strogatz_graph(30, nearest_neighbors=4, rewire_probability=0.1, seed=2)
+        assert graph.number_of_nodes == 30
+        # Rewiring preserves (roughly) the edge count of the ring lattice.
+        assert graph.number_of_edges == pytest.approx(30 * 4, rel=0.2)
+
+    def test_watts_strogatz_validation(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz_graph(10, nearest_neighbors=3, rewire_probability=0.1)
+
+    def test_powerlaw_cluster_connected(self):
+        graph = powerlaw_cluster_graph(60, attachment=2, triangle_probability=0.5, seed=4)
+        assert graph.number_of_nodes == 60
+        assert len(weakly_connected_components(graph)) == 1
+
+    def test_forest_fire_connected_and_directed(self):
+        graph = forest_fire_graph(40, seed=5)
+        assert graph.number_of_nodes == 40
+        assert len(weakly_connected_components(graph)) == 1
+
+    def test_stochastic_block_structure(self):
+        graph = stochastic_block_graph([15, 15], 0.3, 0.01, seed=6)
+        within = sum(
+            1 for u, v, _ in graph.edges() if (u < 15) == (v < 15)
+        )
+        between = graph.number_of_edges - within
+        assert within > between
+
+
+class TestTestStructures:
+    def test_random_tree_is_tree(self):
+        graph = random_tree(40, seed=9)
+        assert graph.number_of_edges == 39
+        assert is_dag(graph)
+        # every non-root node has exactly one parent
+        assert all(graph.in_degree(v) == 1 for v in range(1, 40))
+        assert graph.in_degree(0) == 0
+
+    def test_random_tree_max_children(self):
+        graph = random_tree(50, seed=9, max_children=2)
+        assert all(graph.out_degree(v) <= 2 for v in graph.nodes())
+
+    def test_random_dag_is_acyclic(self):
+        graph = random_dag(25, edge_probability=0.3, seed=10)
+        assert is_dag(graph)
+        for u, v, _ in graph.edges():
+            assert u < v
+
+    def test_random_probability_annotations(self):
+        graph = random_dag(15, 0.3, seed=2, random_probabilities=True)
+        probabilities = {d.probability for _, _, d in graph.edges()}
+        assert len(probabilities) > 1
+        assert all(0.0 < p < 1.0 for p in probabilities)
+
+    def test_reproducibility_across_generators(self):
+        for factory in (
+            lambda s: random_tree(20, seed=s),
+            lambda s: random_dag(20, 0.2, seed=s),
+            lambda s: forest_fire_graph(20, seed=s),
+            lambda s: powerlaw_cluster_graph(20, 2, 0.4, seed=s),
+        ):
+            first = factory(123)
+            second = factory(123)
+            assert {(u, v) for u, v, _ in first.edges()} == {
+                (u, v) for u, v, _ in second.edges()
+            }

@@ -1,0 +1,134 @@
+"""Unit tests for graph statistics and the paper's special constructions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graphs import (
+    DiGraph,
+    compute_stats,
+    cycle_graph,
+    effective_diameter,
+    figure1_example_graph,
+    path_graph,
+    set_cover_reduction_graph,
+    star_graph,
+    submodularity_counterexample,
+)
+from repro.graphs.stats import (
+    bfs_distances,
+    degree_histogram,
+    is_dag,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+
+
+class TestStats:
+    def test_bfs_distances_on_path(self):
+        graph = path_graph(5)
+        distances = bfs_distances(graph, 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_effective_diameter_path(self):
+        graph = path_graph(11)
+        diameter = effective_diameter(graph, percentile=100.0, seed=0)
+        assert diameter == pytest.approx(10.0)
+
+    def test_effective_diameter_empty_graph(self):
+        assert effective_diameter(DiGraph()) == 0.0
+
+    def test_effective_diameter_star(self):
+        graph = star_graph(20)
+        assert effective_diameter(graph, percentile=90.0, seed=0) == pytest.approx(1.0)
+
+    def test_weakly_connected_components(self):
+        graph = DiGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        graph.add_node(4)
+        components = weakly_connected_components(graph)
+        assert sorted(len(c) for c in components) == [1, 2, 2]
+
+    def test_strongly_connected_components_cycle(self):
+        graph = cycle_graph(5)
+        components = strongly_connected_components(graph)
+        assert len(components) == 1
+        assert len(components[0]) == 5
+
+    def test_is_dag(self):
+        assert is_dag(path_graph(4))
+        assert not is_dag(cycle_graph(4))
+
+    def test_degree_histogram(self):
+        graph = star_graph(3)
+        assert degree_histogram(graph, "out") == {3: 1, 0: 3}
+        assert degree_histogram(graph, "in") == {0: 1, 1: 3}
+        with pytest.raises(ValueError):
+            degree_histogram(graph, "sideways")
+
+    def test_compute_stats_columns(self):
+        graph = figure1_example_graph()
+        stats = compute_stats(graph, seed=0)
+        assert stats.nodes == 4
+        assert stats.edges == 4
+        assert stats.average_degree == pytest.approx(1.0)
+        row = stats.as_row()
+        assert set(row) == {"dataset", "n", "m", "avg_degree", "90pct_diameter"}
+
+
+class TestFigure1:
+    def test_structure_matches_paper(self):
+        graph = figure1_example_graph()
+        assert graph.opinion("A") == pytest.approx(0.8)
+        assert graph.opinion("D") == pytest.approx(-0.3)
+        assert graph.edge_data("C", "D").probability == pytest.approx(0.9)
+        assert graph.edge_data("C", "D").interaction == pytest.approx(0.1)
+        assert graph.edge_data("B", "A").interaction == pytest.approx(0.7)
+
+
+class TestSubmodularityCounterexample:
+    def test_structure(self):
+        graph = submodularity_counterexample(nx=3)
+        x_nodes = [node for node in graph.nodes() if node[0] == "x"]
+        y_nodes = [node for node in graph.nodes() if node[0] == "y"]
+        assert len(x_nodes) == 3
+        assert len(y_nodes) == 6
+        # every source has exactly two dedicated targets
+        assert all(graph.out_degree(x) == 2 for x in x_nodes)
+        assert all(graph.in_degree(y) == 1 for y in y_nodes)
+        # last source disagrees with its targets, others agree
+        assert graph.edge_data(("x", 3), ("y", 5)).interaction == pytest.approx(0.0)
+        assert graph.edge_data(("x", 1), ("y", 1)).interaction == pytest.approx(1.0)
+
+    def test_requires_two_sources(self):
+        with pytest.raises(ConfigurationError):
+            submodularity_counterexample(nx=1)
+
+
+class TestSetCoverReduction:
+    def test_structure(self):
+        graph = set_cover_reduction_graph(3, [[1, 2], [2, 3]])
+        x_nodes = [n for n in graph.nodes() if n[0] == "x"]
+        y_nodes = [n for n in graph.nodes() if n[0] == "y"]
+        z_nodes = [n for n in graph.nodes() if n[0] == "z"]
+        sink = [n for n in graph.nodes() if n == ("s",)]
+        assert len(x_nodes) == 2
+        assert len(y_nodes) == 3
+        assert len(z_nodes) == 2 + 3 - 2
+        assert len(sink) == 1
+        assert graph.opinion(("y", 1)) == pytest.approx(1.0 / 3.0)
+        assert graph.opinion(("s",)) == pytest.approx(-1.0 + 1.0 / 3.0)
+        # x1 covers elements 1 and 2
+        assert graph.has_edge(("x", 1), ("y", 1))
+        assert graph.has_edge(("x", 1), ("y", 2))
+        assert not graph.has_edge(("x", 1), ("y", 3))
+
+    def test_element_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            set_cover_reduction_graph(2, [[1, 5]])
+
+    def test_empty_subsets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            set_cover_reduction_graph(2, [])

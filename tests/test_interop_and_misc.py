@@ -1,0 +1,92 @@
+"""Miscellaneous coverage: networkx interop, CLI error paths, PageRank variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.pagerank import pagerank_scores
+from repro.cli import main
+from repro.graphs import DiGraph, figure1_example_graph, from_networkx, to_networkx
+from repro.graphs.generators import star_graph
+
+
+class TestNetworkxInterop:
+    def test_round_trip_attributes(self):
+        networkx = pytest.importorskip("networkx")
+        graph = figure1_example_graph()
+        nx_graph = to_networkx(graph)
+        assert isinstance(nx_graph, networkx.DiGraph)
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.nodes["A"]["opinion"] == pytest.approx(0.8)
+        assert nx_graph.edges["A", "D"]["probability"] == pytest.approx(0.8)
+        back = from_networkx(nx_graph)
+        assert back.number_of_edges == graph.number_of_edges
+        assert back.opinion("A") == pytest.approx(0.8)
+        assert back.edge_data("A", "D").interaction == pytest.approx(0.9)
+
+    def test_undirected_networkx_is_bidirected(self):
+        networkx = pytest.importorskip("networkx")
+        undirected = networkx.Graph()
+        undirected.add_edge("x", "y", probability=0.4)
+        converted = from_networkx(undirected)
+        assert converted.has_edge("x", "y")
+        assert converted.has_edge("y", "x")
+
+    def test_p_and_phi_attribute_aliases(self):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.DiGraph()
+        nx_graph.add_edge(0, 1, p=0.25, phi=0.75)
+        converted = from_networkx(nx_graph)
+        assert converted.edge_data(0, 1).probability == pytest.approx(0.25)
+        assert converted.edge_data(0, 1).interaction == pytest.approx(0.75)
+
+
+class TestPageRankVariants:
+    def test_forward_and_reverse_differ_on_asymmetric_graph(self):
+        graph = DiGraph()
+        # hub 0 points at many leaves; reverse PageRank should favour the hub,
+        # forward PageRank the leaves.
+        for leaf in range(1, 8):
+            graph.add_edge(0, leaf)
+        compiled = graph.compile()
+        reverse = pagerank_scores(compiled, reverse=True)
+        forward = pagerank_scores(compiled, reverse=False)
+        hub = compiled.index_of[0]
+        assert reverse[hub] == max(reverse)
+        assert forward[hub] == min(forward)
+
+    def test_empty_graph(self):
+        assert pagerank_scores(DiGraph().compile()).size == 0
+
+    def test_dangling_mass_redistributed(self):
+        graph = star_graph(4)
+        scores = pagerank_scores(graph.compile(), reverse=False)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestCLIErrorPaths:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_select_requires_graph_source(self):
+        with pytest.raises(SystemExit):
+            main(["select", "--algorithm", "easyim"])
+
+    def test_unknown_dataset_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["select", "--dataset", "not-a-dataset", "--algorithm", "easyim"])
+
+    def test_evaluate_accepts_string_seed_labels(self, tmp_path, capsys):
+        from repro.graphs.io import write_edge_list
+
+        graph = DiGraph()
+        graph.add_edge("alice", "bob", probability=1.0)
+        path = tmp_path / "tiny.txt"
+        write_edge_list(graph, path)
+        code = main([
+            "evaluate", "--edge-list", str(path), "--model", "ic",
+            "--seeds", "alice", "--simulations", "20", "--json",
+        ])
+        assert code == 0
+        assert '"spread": 1.0' in capsys.readouterr().out

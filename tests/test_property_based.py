@@ -1,0 +1,254 @@
+"""Property-based tests (hypothesis) for core data structures and invariants.
+
+These tests generate random graphs, opinions and parameters and check the
+structural invariants that must hold for *any* input:
+
+* CSR compilation preserves the graph exactly;
+* diffusion outcomes are well-formed (activated ⊇ seeds, opinions in range,
+  spread bounds);
+* EaSyIM scores equal the exact path sums on random trees (Conclusion 2);
+* OSIM scores equal the closed-form opinion spread on random paths (Lemma 9);
+* opinion-oblivious spread is monotone in the seed set under a fixed random
+  world (coupling argument).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.easyim import easyim_scores
+from repro.algorithms.osim import osim_scores
+from repro.analysis.paths import exact_path_score, opinion_path_spread
+from repro.diffusion import IndependentCascadeModel, OpinionInteractionModel
+from repro.graphs import DiGraph
+from repro.graphs.generators import random_dag, random_tree
+from repro.utils.rng import ensure_rng
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --------------------------------------------------------------------------
+# strategies
+
+
+@st.composite
+def edge_lists(draw):
+    """A random small directed graph as an edge list with probabilities."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    max_edges = n * (n - 1)
+    count = draw(st.integers(min_value=1, max_value=min(max_edges, 30)))
+    edges = {}
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        p = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        phi = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        edges[(u, v)] = (p, phi)
+    return n, edges
+
+
+@st.composite
+def annotated_graphs(draw):
+    """A random small graph with opinions and interactions."""
+    n, edges = draw(edge_lists())
+    graph = DiGraph()
+    graph.add_nodes_from(range(n))
+    for (u, v), (p, phi) in edges.items():
+        graph.add_edge(u, v, probability=p, interaction=phi)
+    for node in range(n):
+        graph.set_opinion(node, draw(st.floats(min_value=-1.0, max_value=1.0,
+                                                allow_nan=False)))
+    return graph
+
+
+@st.composite
+def opinion_paths(draw):
+    """A random directed path with opinions, probabilities and interactions."""
+    length = draw(st.integers(min_value=1, max_value=7))
+    graph = DiGraph()
+    for i in range(length + 1):
+        graph.add_node(i, opinion=draw(st.floats(-1.0, 1.0, allow_nan=False)))
+    for i in range(length):
+        graph.add_edge(
+            i, i + 1,
+            probability=draw(st.floats(0.01, 1.0, allow_nan=False)),
+            interaction=draw(st.floats(0.0, 1.0, allow_nan=False)),
+        )
+    return graph, length
+
+
+# --------------------------------------------------------------------------
+# graph invariants
+
+
+class TestGraphProperties:
+    @SETTINGS
+    @given(edge_lists())
+    def test_csr_round_trip(self, data):
+        n, edges = data
+        graph = DiGraph()
+        graph.add_nodes_from(range(n))
+        for (u, v), (p, phi) in edges.items():
+            graph.add_edge(u, v, probability=p, interaction=phi)
+        compiled = graph.compile()
+        assert compiled.number_of_nodes == graph.number_of_nodes
+        assert compiled.number_of_edges == graph.number_of_edges
+        # Every original edge is present with the same attributes.
+        for (u, v), (p, phi) in edges.items():
+            ui, vi = compiled.index_of[u], compiled.index_of[v]
+            neighbors = list(compiled.out_neighbors(ui))
+            assert vi in neighbors
+            slot = neighbors.index(vi)
+            assert compiled.out_probabilities(ui)[slot] == pytest.approx(p)
+            assert compiled.out_interactions(ui)[slot] == pytest.approx(phi)
+
+    @SETTINGS
+    @given(edge_lists())
+    def test_degree_sums(self, data):
+        n, edges = data
+        graph = DiGraph()
+        graph.add_nodes_from(range(n))
+        for (u, v), (p, _) in edges.items():
+            graph.add_edge(u, v, probability=p)
+        total_out = sum(graph.out_degree(v) for v in graph.nodes())
+        total_in = sum(graph.in_degree(v) for v in graph.nodes())
+        assert total_out == total_in == graph.number_of_edges
+
+    @SETTINGS
+    @given(edge_lists())
+    def test_reverse_is_involution(self, data):
+        n, edges = data
+        graph = DiGraph()
+        graph.add_nodes_from(range(n))
+        for (u, v), (p, phi) in edges.items():
+            graph.add_edge(u, v, probability=p, interaction=phi)
+        double_reverse = graph.reverse().reverse()
+        assert {(u, v) for u, v, _ in double_reverse.edges()} == {
+            (u, v) for u, v, _ in graph.edges()
+        }
+
+
+# --------------------------------------------------------------------------
+# diffusion invariants
+
+
+class TestDiffusionProperties:
+    @SETTINGS
+    @given(annotated_graphs(), st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_outcome_well_formed(self, graph, seed):
+        compiled = graph.compile()
+        model = OpinionInteractionModel("ic")
+        seeds = [0, min(1, compiled.number_of_nodes - 1)]
+        outcome = model.simulate(compiled, seeds, ensure_rng(seed))
+        activated = set(outcome.activated)
+        assert set(outcome.seeds) <= activated
+        assert len(outcome.activated) == len(activated)  # no duplicates
+        assert set(outcome.final_opinions) == activated
+        assert 0.0 <= outcome.spread() <= compiled.number_of_nodes - len(set(outcome.seeds))
+        for opinion in outcome.final_opinions.values():
+            assert -1.0 - 1e-9 <= opinion <= 1.0 + 1e-9
+
+    @SETTINGS
+    @given(annotated_graphs(), st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_ic_monotone_in_possible_worlds(self, graph, seed):
+        """In any fixed possible world (live-edge sample of the IC model),
+        the set of nodes reachable from a superset of seeds contains the set
+        reachable from the subset — the coupling argument behind monotonicity
+        of the expected spread."""
+        rng = ensure_rng(seed)
+        world = DiGraph()
+        world.add_nodes_from(graph.nodes())
+        for u, v, data in graph.edges():
+            if rng.random() < data.probability:
+                world.add_edge(u, v, probability=1.0)
+        from repro.graphs.stats import bfs_distances
+
+        def reachable(seeds):
+            nodes = set()
+            for s in seeds:
+                nodes |= set(bfs_distances(world, s))
+            return nodes
+
+        small_seeds = [0]
+        large_seeds = [0, world.number_of_nodes - 1]
+        assert reachable(small_seeds) <= reachable(large_seeds)
+
+    @SETTINGS
+    @given(annotated_graphs())
+    def test_deterministic_graph_gives_full_reachability(self, graph):
+        """With p = 1 everywhere, the cascade activates exactly the reachable set."""
+        for _, _, data in graph.edges():
+            data.probability = 1.0
+        compiled = graph.compile()
+        outcome = IndependentCascadeModel().simulate(compiled, [0], ensure_rng(0))
+        from repro.graphs.stats import bfs_distances
+
+        reachable = bfs_distances(graph, compiled.labels[0])
+        assert len(outcome.activated) == len(reachable)
+
+
+# --------------------------------------------------------------------------
+# score-assignment invariants
+
+
+class TestScoreProperties:
+    @SETTINGS
+    @given(st.integers(min_value=5, max_value=40), st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=4))
+    def test_easyim_exact_on_random_trees(self, size, seed, length):
+        graph = random_tree(size, seed=seed, random_probabilities=True)
+        compiled = graph.compile()
+        scores = easyim_scores(compiled, max_path_length=length)
+        rng = np.random.default_rng(seed)
+        for label in rng.choice(size, size=min(5, size), replace=False):
+            expected = exact_path_score(graph, int(label), max_length=length)
+            assert scores[compiled.index_of[int(label)]] == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    @SETTINGS
+    @given(st.integers(min_value=4, max_value=12), st.integers(min_value=0, max_value=10_000))
+    def test_easyim_exact_on_random_dags(self, size, seed):
+        graph = random_dag(size, edge_probability=0.3, seed=seed, random_probabilities=True)
+        compiled = graph.compile()
+        scores = easyim_scores(compiled, max_path_length=3)
+        for label in graph.nodes():
+            expected = exact_path_score(graph, label, max_length=3)
+            assert scores[compiled.index_of[label]] == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    @SETTINGS
+    @given(opinion_paths())
+    def test_osim_matches_lemma9_on_paths(self, data):
+        graph, length = data
+        compiled = graph.compile()
+        scores = osim_scores(compiled, max_path_length=length)
+        expected = opinion_path_spread(graph, list(range(length + 1)))
+        assert scores[compiled.index_of[0]] == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    @SETTINGS
+    @given(annotated_graphs(), st.integers(min_value=1, max_value=4))
+    def test_scores_are_finite(self, graph, length):
+        compiled = graph.compile()
+        easy = easyim_scores(compiled, max_path_length=length)
+        osim = osim_scores(compiled, max_path_length=length)
+        assert np.all(np.isfinite(easy))
+        assert np.all(np.isfinite(osim))
+        assert np.all(easy >= 0.0)
+
+    @SETTINGS
+    @given(annotated_graphs())
+    def test_all_positive_opinions_give_nonnegative_osim_scores(self, graph):
+        for node in graph.nodes():
+            graph.set_opinion(node, abs(graph.opinion(node) or 0.0))
+        for _, _, data in graph.edges():
+            data.interaction = 1.0
+        compiled = graph.compile()
+        scores = osim_scores(compiled, max_path_length=3)
+        assert np.all(scores >= -1e-12)

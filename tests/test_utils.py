@@ -1,0 +1,155 @@
+"""Unit tests for the utils package (rng, timer, memory, validation)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BudgetError, ConfigurationError
+from repro.utils import (
+    MemoryTracker,
+    Timer,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+    ensure_rng,
+    peak_memory_mb,
+    spawn_rng,
+    timed,
+)
+from repro.utils.timer import time_call
+from repro.utils.validation import check_budget
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert ensure_rng(rng) is rng
+
+    def test_invalid_seed_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+    def test_spawn_rng_independent_and_reproducible(self):
+        children_a = spawn_rng(ensure_rng(7), 3)
+        children_b = spawn_rng(ensure_rng(7), 3)
+        for a, b in zip(children_a, children_b):
+            assert np.allclose(a.random(4), b.random(4))
+        draws = [c.random() for c in spawn_rng(ensure_rng(7), 3)]
+        assert len(set(draws)) == 3
+
+    def test_spawn_rng_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(0), -1)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed > first
+
+    def test_double_start_raises(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+    def test_timed_context(self):
+        with timed() as timer:
+            time.sleep(0.005)
+        assert timer.elapsed >= 0.004
+
+    def test_time_call(self):
+        result, elapsed = time_call(sum, [1, 2, 3])
+        assert result == 6
+        assert elapsed >= 0.0
+
+
+class TestMemory:
+    def test_tracker_measures_allocation(self):
+        with MemoryTracker() as tracker:
+            data = np.zeros(2_000_000, dtype=np.float64)  # ~16 MB
+            data[0] = 1.0
+        assert tracker.peak_mb > 10.0
+
+    def test_peak_before_exit_raises(self):
+        tracker = MemoryTracker()
+        with pytest.raises(RuntimeError):
+            _ = tracker.peak_mb
+
+    def test_peak_memory_mb_helper(self):
+        result, peak = peak_memory_mb(lambda: np.ones(500_000))
+        assert result.shape == (500_000,)
+        assert peak > 1.0
+
+    def test_nested_trackers(self):
+        with MemoryTracker() as outer:
+            with MemoryTracker() as inner:
+                _ = list(range(10000))
+        assert inner.peak_mb >= 0.0
+        assert outer.peak_mb >= inner.peak_mb * 0.0  # both defined
+
+
+class TestValidation:
+    def test_check_type(self):
+        assert check_type("x", 3, int) == 3
+        with pytest.raises(ConfigurationError):
+            check_type("x", 3, str)
+
+    def test_check_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0)
+        with pytest.raises(ConfigurationError):
+            check_positive("x", True)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -1)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 1.5)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 1, -1, 2) == 1.0
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 5, -1, 2)
+
+    def test_check_budget(self):
+        assert check_budget("k", 3, 10) == 3
+        with pytest.raises(ConfigurationError):
+            check_budget("k", 0, 10)
+        with pytest.raises(BudgetError):
+            check_budget("k", 11, 10)
+        with pytest.raises(ConfigurationError):
+            check_budget("k", 2.5, 10)
