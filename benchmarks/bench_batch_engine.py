@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Micro-benchmark: scalar vs batch Monte-Carlo cascade simulation.
+
+Times the legacy scalar path (one ``model.simulate`` call per cascade plus
+per-outcome objective computations — what ``MonteCarloEngine`` did before the
+vectorized batch engine) against ``MonteCarloEngine.estimate`` running on the
+``simulate_batch`` kernels, on ER and BA graphs, and writes a JSON perf
+record so future PRs have a trajectory to track.
+
+The headline configuration mirrors the acceptance target of the batch-engine
+PR: IC model on a 10k-node weighted-cascade BA graph, 1000 simulations,
+``workers=1``, required speedup >= 10x.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro.diffusion.registry import get_model
+from repro.diffusion.simulation import MonteCarloEngine
+from repro.graphs.generators import barabasi_albert_graph, erdos_renyi_graph
+from repro.utils.rng import spawn_rng
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_batch_engine.json"
+
+#: Required speedup of the headline configuration (the PR acceptance bar).
+TARGET_SPEEDUP = 10.0
+
+
+def time_scalar(model, graph, seeds, simulations, seed=0, penalty=1.0):
+    """The pre-batch engine loop: per-cascade simulate + objective methods."""
+    rng = np.random.default_rng(seed)
+    results = np.zeros((3, simulations))
+    start = time.perf_counter()
+    for i, child in enumerate(spawn_rng(rng, simulations)):
+        outcome = model.simulate(graph, seeds, child)
+        results[0, i] = outcome.spread()
+        results[1, i] = outcome.opinion_spread()
+        results[2, i] = outcome.effective_opinion_spread(penalty)
+    return time.perf_counter() - start, float(results[0].mean())
+
+
+def time_batch(model, graph, seeds, simulations, seed=0, workers=1):
+    """A fresh engine's first estimate — cold caches, end-to-end."""
+    engine = MonteCarloEngine(
+        graph, model, simulations=simulations, seed=seed, workers=workers
+    )
+    start = time.perf_counter()
+    estimate = engine.estimate(seeds)
+    return time.perf_counter() - start, float(estimate.spread)
+
+
+def build_configs(quick: bool):
+    scale = 10 if quick else 1
+    return [
+        {
+            "name": "ba-10k-wc-ic",
+            "headline": True,
+            "graph": "barabasi_albert",
+            "nodes": 10_000 // scale,
+            "model": "ic",
+            "simulations": 1000 // scale,
+        },
+        {
+            "name": "er-5k-wc-ic",
+            "headline": False,
+            "graph": "erdos_renyi",
+            "nodes": 5_000 // scale,
+            "model": "ic",
+            "simulations": 500 // scale,
+        },
+        {
+            "name": "ba-10k-wc-lt",
+            "headline": False,
+            "graph": "barabasi_albert",
+            "nodes": 10_000 // scale,
+            "model": "lt",
+            "simulations": 500 // scale,
+        },
+    ]
+
+
+def build_graph(kind: str, nodes: int, seed: int = 1):
+    if kind == "barabasi_albert":
+        graph = barabasi_albert_graph(nodes, 3, seed=seed)
+    else:
+        graph = erdos_renyi_graph(nodes, 6.0 / nodes, seed=seed)
+    graph.set_weighted_cascade_probabilities()
+    return graph
+
+
+def run(quick: bool, output: pathlib.Path) -> dict:
+    records = []
+    for config in build_configs(quick):
+        graph = build_graph(config["graph"], config["nodes"])
+        compiled = graph.compile()
+        model = get_model(config["model"])
+        seeds = list(range(10))
+        simulations = config["simulations"]
+
+        # Warm model/graph caches so both paths are measured steady-state.
+        model.simulate_batch(compiled, seeds, np.random.default_rng(0), 8)
+
+        scalar_seconds, scalar_spread = time_scalar(
+            model, compiled, seeds, simulations
+        )
+        batch_seconds, batch_spread = time_batch(
+            model, compiled, seeds, simulations
+        )
+        record = {
+            **config,
+            "edges": compiled.number_of_edges,
+            "seeds": len(seeds),
+            "scalar_seconds": round(scalar_seconds, 4),
+            "batch_seconds": round(batch_seconds, 4),
+            "speedup": round(scalar_seconds / batch_seconds, 2),
+            "scalar_mean_spread": round(scalar_spread, 2),
+            "batch_mean_spread": round(batch_spread, 2),
+        }
+        records.append(record)
+        print(
+            f"{record['name']:>14s}: scalar {scalar_seconds:7.3f}s  "
+            f"batch {batch_seconds:7.3f}s  speedup {record['speedup']:6.2f}x  "
+            f"(spread {scalar_spread:.1f} vs {batch_spread:.1f})"
+        )
+
+    headline = next(r for r in records if r["headline"])
+    report = {
+        "benchmark": "bench_batch_engine",
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "target_speedup": TARGET_SPEEDUP,
+        "headline_speedup": headline["speedup"],
+        "headline_meets_target": headline["speedup"] >= TARGET_SPEEDUP,
+        "records": records,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="scale everything down ~10x for a CI smoke run",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON perf record (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args()
+    report = run(args.quick, args.output)
+    if not args.quick and not report["headline_meets_target"]:
+        print(
+            f"WARNING: headline speedup {report['headline_speedup']}x is below "
+            f"the {TARGET_SPEEDUP}x target"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,12 +46,14 @@ from repro.graphs import (
     write_edge_list,
 )
 from repro.diffusion import (
+    BatchOutcome,
     MonteCarloEngine,
     available_models,
     expected_effective_opinion_spread,
     expected_opinion_spread,
     expected_spread,
     get_model,
+    simulate_batch,
 )
 from repro.algorithms import available_algorithms, get_algorithm
 from repro.opinion import annotate_interactions, annotate_opinions
@@ -91,6 +93,8 @@ __all__ = [
     "get_model",
     "available_models",
     "MonteCarloEngine",
+    "BatchOutcome",
+    "simulate_batch",
     "expected_spread",
     "expected_opinion_spread",
     "expected_effective_opinion_spread",

@@ -43,6 +43,7 @@ class GreedySelector(SeedSelector):
         objective: str = "spread",
         penalty: float = 1.0,
         seed: RandomState = None,
+        workers: int = 1,
     ) -> None:
         if objective not in _OBJECTIVES:
             raise ConfigurationError(
@@ -53,6 +54,7 @@ class GreedySelector(SeedSelector):
         self.objective = objective
         self.penalty = penalty
         self.random_state = seed
+        self.workers = workers
         self.opinion_aware = objective != "spread"
 
     # ------------------------------------------------------------- helpers
@@ -64,6 +66,7 @@ class GreedySelector(SeedSelector):
             simulations=self.simulations,
             penalty=self.penalty,
             seed=self.random_state,
+            workers=self.workers,
         )
 
     def _value(self, engine: MonteCarloEngine, seeds: list[int]) -> float:

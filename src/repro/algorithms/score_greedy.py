@@ -92,17 +92,21 @@ class ScoreGreedySelector(SeedSelector):
     # ------------------------------------------------------------- updates
 
     def _mark_activated(self, graph: CompiledGraph, seed: int, active: np.ndarray) -> None:
-        """Update ``active`` in place with the nodes activated by ``seed``."""
+        """Update ``active`` in place with the nodes activated by ``seed``.
+
+        Both strategies run through :meth:`DiffusionModel.simulate_batch`, so
+        the re-estimation cascades are advanced by the vectorized kernels and
+        the per-cascade activation masks combine with plain matrix reductions.
+        """
         active[seed] = True
         if self.update_strategy == "none":
             return
         if self.update_strategy == "single":
-            outcome = self.model.simulate(graph, [seed], self._rng)
-            for node in outcome.activated:
-                active[node] = True
+            outcome = self.model.simulate_batch(graph, [seed], self._rng, 1)
+            active |= outcome.active[0]
             return
-        counts = np.zeros(graph.number_of_nodes, dtype=np.int64)
-        for _ in range(self.update_simulations):
-            outcome = self.model.simulate(graph, [seed], self._rng)
-            counts[outcome.activated] += 1
+        outcome = self.model.simulate_batch(
+            graph, [seed], self._rng, self.update_simulations
+        )
+        counts = outcome.active.sum(axis=0)
         active[counts > self.update_simulations / 2] = True

@@ -47,11 +47,14 @@ def evaluate_seed_prefixes(
     penalty: float = 1.0,
     label: str = "",
     seed: RandomState = 0,
+    workers: int = 1,
 ) -> SeedSetEvaluation:
     """Evaluate prefixes of ``seeds`` at each requested ``k``.
 
     ``seed_counts`` entries larger than ``len(seeds)`` raise, because the
     prefix would silently repeat the full set and distort the curve.
+    ``workers`` > 1 spreads each estimate's simulation blocks over that many
+    processes (the result is identical to ``workers=1`` for a fixed seed).
     """
     seeds = list(seeds)
     for k in seed_counts:
@@ -60,7 +63,8 @@ def evaluate_seed_prefixes(
                 f"seed count {k} is outside 0..{len(seeds)}"
             )
     engine = MonteCarloEngine(
-        graph, model, simulations=simulations, penalty=penalty, seed=seed
+        graph, model, simulations=simulations, penalty=penalty, seed=seed,
+        workers=workers,
     )
     values: List[float] = []
     for k in seed_counts:
@@ -86,6 +90,7 @@ def compare_seed_sets(
     simulations: int = 500,
     penalty: float = 1.0,
     seed: RandomState = 0,
+    workers: int = 1,
 ) -> List[SeedSetEvaluation]:
     """Evaluate several labelled seed lists under one reference model.
 
@@ -106,6 +111,7 @@ def compare_seed_sets(
                 penalty=penalty,
                 label=label,
                 seed=seed,
+                workers=workers,
             )
         )
     return evaluations

@@ -14,7 +14,7 @@ Opinion-aware models (second layer on top of IC or LT):
 * :class:`OCModel` — OC baseline (Zhang et al., ICDCS 2013).
 """
 
-from repro.diffusion.base import DiffusionModel, DiffusionOutcome
+from repro.diffusion.base import BatchOutcome, DiffusionModel, DiffusionOutcome
 from repro.diffusion.independent_cascade import IndependentCascadeModel
 from repro.diffusion.weighted_cascade import WeightedCascadeModel
 from repro.diffusion.linear_threshold import LinearThresholdModel
@@ -30,10 +30,12 @@ from repro.diffusion.spread import (
     expected_opinion_spread,
     expected_spread,
     opinion_spread,
+    simulate_batch,
     spread,
 )
 
 __all__ = [
+    "BatchOutcome",
     "DiffusionModel",
     "DiffusionOutcome",
     "IndependentCascadeModel",
@@ -47,6 +49,7 @@ __all__ = [
     "get_model",
     "MonteCarloEngine",
     "SpreadEstimate",
+    "simulate_batch",
     "spread",
     "opinion_spread",
     "effective_opinion_spread",

@@ -1,0 +1,469 @@
+"""Vectorized batch cascade kernels shared by the native diffusion models.
+
+Every kernel advances ``count`` independent cascades simultaneously: the
+activation state is a ``(count, n)`` boolean matrix, the frontier is a pair of
+flat ``(cascade, node)`` index arrays, and each synchronous diffusion round
+expands *every* cascade's frontier in one CSR pass — ``np.repeat`` over the
+``indptr`` degree slices plus a single ``rng.random`` draw covering all
+frontier edges of the round.  No per-node or per-cascade Python loop survives
+on the hot path, which is where the ≥10x Monte-Carlo speedup over the scalar
+``simulate`` implementations comes from.
+
+Two frontier cores cover the whole model zoo:
+
+* :func:`run_ic_batch` — the IC family (IC, WC, OI-IC/OI-WC, IC-N): each
+  frontier node gets one independent activation attempt per out-edge.
+* :func:`run_lt_batch` — the LT family (LT, OC, OI-LT): frontier nodes push
+  their edge weight onto inactive out-neighbours, which activate once the
+  accumulated weight reaches their (per-cascade) random threshold.
+
+Opinion formation is layered onto both cores through a small ``opinion``
+mode switch, mirroring how the paper layers the OI opinion dynamics on an IC
+or LT activation layer (Sec. 2.2).  :func:`run_live_edge_batch` additionally
+vectorises the live-edge formulation of LT (one in-edge sampled per node).
+
+A note on tie-breaking: when several frontier nodes successfully reach the
+same inactive target in the same round, both the scalar models and the batch
+kernels apply the same rule — the *first* successful attempt in frontier
+order wins (batch: a sort-free scatter dedup, :func:`_dedup_first`).  The
+frontier orderings are not bit-identical (the scalar queue preserves
+activation order, the batch frontier is key-sorted within a round), so
+individual cascades can differ, but the tie-break rule itself agrees —
+in particular, seeds contest targets in exactly the same order — and the
+objective distributions are statistically indistinguishable.  The LT-family
+opinion layers average in-neighbour opinions against the *pre-round* active
+set (strict synchronous semantics); the scalar OC/OI-LT models implement the
+same rule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.diffusion.base import BatchOutcome, validate_seed_indices
+from repro.graphs.digraph import CompiledGraph
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _in_degree_reciprocal(graph: CompiledGraph) -> np.ndarray:
+    """Per-node ``1 / in_degree`` (1.0 for sources, which never matter)."""
+    in_degrees = np.diff(graph.in_indptr).astype(np.float64)
+    safe = np.where(in_degrees > 0, in_degrees, 1.0)
+    return 1.0 / safe
+
+
+def wc_out_probabilities(graph: CompiledGraph) -> np.ndarray:
+    """Edge-aligned weighted-cascade probabilities ``1 / in_degree(target)``."""
+    return _in_degree_reciprocal(graph)[graph.out_indices]
+
+
+def resolve_out_lt_weights(graph: CompiledGraph) -> np.ndarray:
+    """Edge-aligned LT weights for the *out*-adjacency arrays.
+
+    Mirrors :func:`repro.diffusion.linear_threshold.resolve_lt_weights` but
+    aligned with the forward CSR the batch kernels traverse: annotated
+    weights where present, ``1 / in_degree(target)`` otherwise.
+    """
+    if np.any(graph.in_weight > 0):
+        return graph.out_weight
+    return _in_degree_reciprocal(graph)[graph.out_indices]
+
+
+def draw_threshold_matrix(
+    graph: CompiledGraph, rng: np.random.Generator, count: int
+) -> np.ndarray:
+    """``(count, n)`` thresholds: annotated values where present, uniform otherwise."""
+    thresholds = rng.random((count, graph.number_of_nodes))
+    annotated = ~np.isnan(graph.thresholds)
+    if annotated.any():
+        thresholds[:, annotated] = graph.thresholds[annotated]
+    return thresholds
+
+
+def _expand_csr(
+    indptr: np.ndarray, nodes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten the CSR slices of ``nodes`` into one edge-position array.
+
+    Returns ``(positions, owner)`` where ``positions`` indexes the global
+    edge arrays and ``owner[j]`` is the index into ``nodes`` whose slice edge
+    ``j`` came from.  This is the ``np.repeat``-over-``indptr`` trick that
+    replaces the per-node neighbour loop.
+    """
+    degrees = indptr[nodes + 1] - indptr[nodes]
+    total = int(degrees.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY
+    owner = np.repeat(np.arange(nodes.size), degrees)
+    slice_starts = np.cumsum(degrees) - degrees
+    within = np.arange(total) - slice_starts[owner]
+    positions = indptr[nodes][owner] + within
+    return positions, owner
+
+
+def _validate_count(count: int) -> int:
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return int(count)
+
+
+def _seed_frontier(
+    seed_array: np.ndarray, count: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Initial ``(cascade, node)`` frontier pairs: every seed in every cascade."""
+    cascades = np.repeat(np.arange(count, dtype=np.int64), seed_array.size)
+    nodes = np.tile(seed_array, count)
+    return cascades, nodes
+
+
+def _dedup_first(keys: np.ndarray, scratch: np.ndarray) -> np.ndarray:
+    """Indices of the *first* occurrence of each distinct value of ``keys``.
+
+    Sort-free alternative to ``np.unique(keys, return_index=True)`` for the
+    per-round winner selection: scatter each element's position into
+    ``scratch`` in reverse (numpy keeps the last write for duplicate
+    indices, so the reversed scatter leaves the first occurrence) and keep
+    the elements that read their own position back.  First-wins matches the
+    scalar models' tie-break rule.  ``scratch`` is a reusable
+    ``(count * n,)`` int array; it never needs resetting because every entry
+    read was just written by this call.
+    """
+    order = np.arange(keys.size, dtype=scratch.dtype)
+    scratch[keys[::-1]] = order[::-1]
+    return np.flatnonzero(scratch[keys] == order)
+
+
+def _count_rounds(rounds: np.ndarray, frontier_cascades: np.ndarray) -> None:
+    """Increment the round counter of every cascade with a non-empty frontier."""
+    alive = np.zeros(rounds.size, dtype=bool)
+    alive[frontier_cascades] = True
+    rounds += alive
+
+
+# ---------------------------------------------------------------- IC family
+
+
+def run_ic_batch(
+    graph: CompiledGraph,
+    seeds: Sequence[int],
+    rng: np.random.Generator,
+    count: int,
+    edge_probability: np.ndarray,
+    opinion: str = "initial",
+    quality_factor: Optional[float] = None,
+) -> BatchOutcome:
+    """Batch kernel for IC-style diffusion (independent per-edge attempts).
+
+    Parameters
+    ----------
+    edge_probability:
+        ``(m,)`` activation probabilities aligned with the out-CSR edge
+        arrays (uniform IC probabilities, WC ``1/indeg``, ...).
+    opinion:
+        ``"initial"`` — activated nodes keep their initial opinion (IC/WC);
+        ``"interaction"`` — the OI mixing rule using the activating edge's
+        interaction probability ``phi`` (Sec. 2.2);
+        ``"polarity"`` — the IC-N ±1 polarity rule driven by
+        ``quality_factor``.
+    """
+    count = _validate_count(count)
+    validated = validate_seed_indices(graph, seeds)
+    n = graph.number_of_nodes
+    seed_array = np.asarray(validated, dtype=np.int64)
+    # Flat (count * n) state keyed by ``cascade * n + node`` — 1D fancy
+    # indexing on precomputed keys is measurably cheaper than repeated 2D
+    # index arithmetic on the hot path.
+    active = np.zeros(count * n, dtype=bool)
+    # Opinion-oblivious cascades don't need per-node opinion state in the
+    # loop — final opinions are just the initial opinions of active nodes,
+    # reconstructed in one broadcast multiply at the end.
+    track_opinions = opinion != "initial"
+    opinions = np.zeros(count * n, dtype=np.float64) if track_opinions else None
+    rounds = np.zeros(count, dtype=np.int64)
+    scratch = np.empty(count * n, dtype=np.int32)
+    indptr = graph.out_indptr
+
+    frontier_cas, frontier_node = _seed_frontier(seed_array, count)
+    seed_keys = frontier_cas * n + frontier_node
+    if seed_array.size:
+        active[seed_keys] = True
+        if opinion == "polarity":
+            positive = rng.random(seed_keys.size) < quality_factor
+            opinions[seed_keys] = np.where(positive, 1.0, -1.0)
+        elif track_opinions:
+            opinions[seed_keys] = graph.opinions[frontier_node]
+
+    while frontier_cas.size:
+        _count_rounds(rounds, frontier_cas)
+
+        # CSR expansion inlined (rather than via _expand_csr) to skip the
+        # ``owner`` indirection: the cascade of every edge comes straight
+        # from np.repeat over the frontier, which is cheaper on this path.
+        degrees = indptr[frontier_node + 1] - indptr[frontier_node]
+        total = int(degrees.sum())
+        if total == 0:
+            break
+        positions = np.arange(total) + np.repeat(
+            indptr[frontier_node] - np.cumsum(degrees) + degrees, degrees
+        )
+        cascades = np.repeat(frontier_cas, degrees)
+        targets = graph.out_indices[positions]
+        keys = cascades * n + targets
+
+        draws = rng.random(total)
+        success = draws < edge_probability[positions]
+        # Keep only successful attempts on still-inactive targets.
+        success &= ~active[keys]
+        if not success.any():
+            break
+
+        hit = np.flatnonzero(success)
+        winners = hit[_dedup_first(keys[hit], scratch)]
+        win_keys = keys[winners]
+        win_tgt = targets[winners]
+        win_cas = cascades[winners]
+
+        if opinion == "initial":
+            # Winner identity is irrelevant for opinion-oblivious cascades.
+            active[win_keys] = True
+            frontier_cas = win_cas
+            frontier_node = win_tgt
+            continue
+
+        source_keys = win_cas * n + np.repeat(frontier_node, degrees)[winners]
+
+        active[win_keys] = True
+        if opinion == "interaction":
+            agrees = (
+                rng.random(winners.size)
+                < graph.out_interaction[positions[winners]]
+            )
+            source_opinion = opinions[source_keys]
+            contribution = np.where(agrees, source_opinion, -source_opinion)
+            opinions[win_keys] = (graph.opinions[win_tgt] + contribution) / 2.0
+        else:  # polarity (IC-N): negativity dominates, else quality draw
+            source_sign = opinions[source_keys]
+            positive = rng.random(winners.size) < quality_factor
+            sign = np.where(source_sign < 0, -1.0, np.where(positive, 1.0, -1.0))
+            opinions[win_keys] = sign
+
+        frontier_cas = win_cas
+        frontier_node = win_tgt
+
+    active_matrix = active.reshape(count, n)
+    if track_opinions:
+        opinion_matrix = opinions.reshape(count, n)
+    else:
+        opinion_matrix = active_matrix * graph.opinions[None, :]
+    return BatchOutcome(
+        seeds=validated,
+        active=active_matrix,
+        opinions=opinion_matrix,
+        rounds=rounds,
+    )
+
+
+# ---------------------------------------------------------------- LT family
+
+
+def run_lt_batch(
+    graph: CompiledGraph,
+    seeds: Sequence[int],
+    rng: np.random.Generator,
+    count: int,
+    opinion: str = "initial",
+) -> BatchOutcome:
+    """Batch kernel for LT-style diffusion (threshold accumulation).
+
+    ``opinion`` selects the opinion layer: ``"initial"`` (plain LT),
+    ``"mean"`` (OC — average the final opinions of active in-neighbours) or
+    ``"interaction"`` (OI under the LT first layer — each active
+    in-neighbour's contribution is sign-flipped with probability
+    ``1 - phi``).
+    """
+    count = _validate_count(count)
+    validated = validate_seed_indices(graph, seeds)
+    n = graph.number_of_nodes
+    seed_array = np.asarray(validated, dtype=np.int64)
+    active = np.zeros((count, n), dtype=bool)
+    opinions = np.zeros((count, n), dtype=np.float64)
+    rounds = np.zeros(count, dtype=np.int64)
+    accumulated = np.zeros((count, n), dtype=np.float64)
+    thresholds = draw_threshold_matrix(graph, rng, count)
+    weights = resolve_out_lt_weights(graph)
+    scratch = np.empty(count * n, dtype=np.int32)
+
+    if seed_array.size:
+        active[:, seed_array] = True
+        opinions[:, seed_array] = graph.opinions[seed_array]
+
+    frontier_cas, frontier_node = _seed_frontier(seed_array, count)
+    while frontier_cas.size:
+        _count_rounds(rounds, frontier_cas)
+        positions, owner = _expand_csr(graph.out_indptr, frontier_node)
+        if positions.size == 0:
+            break
+        cascades = frontier_cas[owner]
+        targets = graph.out_indices[positions]
+        keep = ~active[cascades, targets]
+        cascades = cascades[keep]
+        targets = targets[keep]
+        positions = positions[keep]
+        if cascades.size == 0:
+            break
+
+        # Segment-sum the pushed weights per touched (cascade, target) pair:
+        # dedup the flat keys without sorting, compress every attempt onto its
+        # representative with a searchsorted, and bincount the weights — much
+        # faster than an unbuffered ``np.add.at`` scatter-add.
+        keys = cascades * n + targets
+        representatives = _dedup_first(keys, scratch)
+        compact = np.searchsorted(representatives, scratch[keys])
+        pushed = np.bincount(
+            compact, weights=weights[positions], minlength=representatives.size
+        )
+        touch_cas = cascades[representatives]
+        touch_tgt = targets[representatives]
+        accumulated[touch_cas, touch_tgt] += pushed
+
+        ready = accumulated[touch_cas, touch_tgt] >= thresholds[touch_cas, touch_tgt]
+        win_cas = touch_cas[ready]
+        win_tgt = touch_tgt[ready]
+        if win_cas.size == 0:
+            frontier_cas, frontier_node = _EMPTY, _EMPTY
+            continue
+
+        if opinion == "initial":
+            opinions[win_cas, win_tgt] = graph.opinions[win_tgt]
+        else:
+            neighbour_term = _active_in_neighbour_mean(
+                graph, active, opinions, win_cas, win_tgt, rng,
+                signed=(opinion == "interaction"),
+            )
+            opinions[win_cas, win_tgt] = (
+                graph.opinions[win_tgt] + neighbour_term
+            ) / 2.0
+        active[win_cas, win_tgt] = True
+        frontier_cas, frontier_node = win_cas, win_tgt
+
+    return BatchOutcome(
+        seeds=validated, active=active, opinions=opinions, rounds=rounds
+    )
+
+
+def _active_in_neighbour_mean(
+    graph: CompiledGraph,
+    active: np.ndarray,
+    opinions: np.ndarray,
+    win_cas: np.ndarray,
+    win_tgt: np.ndarray,
+    rng: np.random.Generator,
+    signed: bool,
+) -> np.ndarray:
+    """Mean (optionally sign-flipped) opinion of active in-neighbours.
+
+    For every newly activated ``(cascade, target)`` pair, averages the final
+    opinions of the target's in-neighbours that are already active in that
+    cascade; with ``signed=True`` each contribution is negated with
+    probability ``1 - phi_(u,v)`` (the OI disagreement draw).
+    """
+    positions, owner = _expand_csr(graph.in_indptr, win_tgt)
+    if positions.size == 0:
+        return np.zeros(win_cas.size, dtype=np.float64)
+    sources = graph.in_indices[positions]
+    cascades = win_cas[owner]
+    is_active = active[cascades, sources]
+    owner = owner[is_active]
+    contributions = opinions[cascades[is_active], sources[is_active]]
+    if signed:
+        agrees = rng.random(owner.size) < graph.in_interaction[positions[is_active]]
+        contributions = np.where(agrees, contributions, -contributions)
+    sums = np.bincount(owner, weights=contributions, minlength=win_cas.size)
+    counts = np.bincount(owner, minlength=win_cas.size)
+    return sums / np.maximum(counts, 1.0)
+
+
+# ---------------------------------------------------------------- live edge
+
+
+def run_live_edge_batch(
+    graph: CompiledGraph,
+    seeds: Sequence[int],
+    rng: np.random.Generator,
+    count: int,
+) -> BatchOutcome:
+    """Batch kernel for the live-edge formulation of LT.
+
+    Samples every cascade's live in-edge choices in one vectorized pass (a
+    single uniform draw per ``(cascade, node)`` resolved against the global
+    per-segment cumulative-weight array), then propagates reachability with
+    whole-matrix gather steps.
+    """
+    count = _validate_count(count)
+    validated = validate_seed_indices(graph, seeds)
+    n = graph.number_of_nodes
+    seed_array = np.asarray(validated, dtype=np.int64)
+    active = np.zeros((count, n), dtype=bool)
+    rounds = np.zeros(count, dtype=np.int64)
+    if seed_array.size:
+        active[:, seed_array] = True
+
+    parents = _sample_live_parent_matrix(graph, rng, count)
+
+    has_parent = parents >= 0
+    safe_parent = np.where(has_parent, parents, 0)
+    row = np.arange(count)[:, None]
+    frontier_alive = np.ones(count, dtype=bool) if seed_array.size else np.zeros(
+        count, dtype=bool
+    )
+    while frontier_alive.any():
+        rounds[frontier_alive] += 1
+        newly = has_parent & active[row, safe_parent] & ~active
+        active |= newly
+        frontier_alive &= newly.any(axis=1)
+
+    opinions = np.where(active, graph.opinions[None, :], 0.0)
+    return BatchOutcome(
+        seeds=validated, active=active, opinions=opinions, rounds=rounds
+    )
+
+
+def _sample_live_parent_matrix(
+    graph: CompiledGraph, rng: np.random.Generator, count: int
+) -> np.ndarray:
+    """``(count, n)`` live parent of every node per cascade (``-1`` = none)."""
+    from repro.diffusion.linear_threshold import resolve_lt_weights
+
+    n = graph.number_of_nodes
+    parents = np.full((count, n), -1, dtype=np.int64)
+    in_degrees = np.diff(graph.in_indptr)
+    candidates = np.flatnonzero(in_degrees > 0)
+    if candidates.size == 0:
+        return parents
+
+    weights = resolve_lt_weights(graph)
+    cumulative = np.cumsum(weights)
+    starts = graph.in_indptr[:-1]
+    prefix = cumulative[starts] - weights[starts]
+    within = cumulative - np.repeat(prefix, in_degrees)
+    totals = np.zeros(n, dtype=np.float64)
+    totals[candidates] = within[graph.in_indptr[1:][candidates] - 1]
+
+    # Shift each node's in-segment of the cumulative array into its own
+    # disjoint value band so one global searchsorted resolves every draw.
+    band = float(max(2.0, np.ceil(within.max()) + 1.0)) if within.size else 2.0
+    segment_of_edge = np.repeat(np.arange(n), in_degrees)
+    shifted = within + band * segment_of_edge
+
+    draws = rng.random((count, candidates.size))
+    has_live = draws < totals[candidates][None, :]
+    cas_idx, cand_idx = np.nonzero(has_live)
+    if cas_idx.size:
+        nodes = candidates[cand_idx]
+        queries = draws[cas_idx, cand_idx] + band * nodes
+        edge_positions = np.searchsorted(shifted, queries, side="right")
+        parents[cas_idx, nodes] = graph.in_indices[edge_positions]
+    return parents

@@ -21,7 +21,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.diffusion.base import DiffusionModel, DiffusionOutcome, validate_seed_indices
+from repro.diffusion.base import (
+    BatchOutcome,
+    DiffusionModel,
+    DiffusionOutcome,
+    validate_seed_indices,
+)
+from repro.diffusion.batch import run_ic_batch
 from repro.exceptions import ConfigurationError
 from repro.graphs.digraph import CompiledGraph
 
@@ -41,6 +47,23 @@ class ICNModel(DiffusionModel):
 
     def __repr__(self) -> str:
         return f"ICNModel(quality_factor={self.quality_factor})"
+
+    def simulate_batch(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        rng: np.random.Generator,
+        count: int,
+    ) -> BatchOutcome:
+        return run_ic_batch(
+            graph,
+            seeds,
+            rng,
+            count,
+            graph.out_probability,
+            opinion="polarity",
+            quality_factor=self.quality_factor,
+        )
 
     def simulate(
         self,

@@ -12,7 +12,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.diffusion.base import DiffusionModel, DiffusionOutcome, validate_seed_indices
+from repro.diffusion.base import (
+    BatchOutcome,
+    DiffusionModel,
+    DiffusionOutcome,
+    validate_seed_indices,
+)
+from repro.diffusion.batch import run_ic_batch
 from repro.graphs.digraph import CompiledGraph
 
 
@@ -34,6 +40,25 @@ class IndependentCascadeModel(DiffusionModel):
         else about the cascade dynamics is shared.
         """
         return graph.out_probabilities(node)
+
+    def batch_edge_probabilities(self, graph: CompiledGraph) -> np.ndarray:
+        """Activation probabilities for *all* edges, aligned with the out-CSR.
+
+        The batch counterpart of :meth:`edge_probabilities`; the
+        weighted-cascade model overrides this hook too.
+        """
+        return graph.out_probability
+
+    def simulate_batch(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        rng: np.random.Generator,
+        count: int,
+    ) -> BatchOutcome:
+        return run_ic_batch(
+            graph, seeds, rng, count, self.batch_edge_probabilities(graph)
+        )
 
     def simulate(
         self,

@@ -15,7 +15,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.diffusion.base import DiffusionModel, DiffusionOutcome, validate_seed_indices
+from repro.diffusion.base import (
+    BatchOutcome,
+    DiffusionModel,
+    DiffusionOutcome,
+    validate_seed_indices,
+)
 from repro.graphs.digraph import CompiledGraph
 
 
@@ -46,6 +51,17 @@ class LinearThresholdModel(DiffusionModel):
 
     name = "lt"
     opinion_aware = False
+
+    def simulate_batch(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        rng: np.random.Generator,
+        count: int,
+    ) -> BatchOutcome:
+        from repro.diffusion.batch import run_lt_batch
+
+        return run_lt_batch(graph, seeds, rng, count, opinion="initial")
 
     def simulate(
         self,

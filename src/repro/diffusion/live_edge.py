@@ -17,7 +17,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.diffusion.base import DiffusionModel, DiffusionOutcome, validate_seed_indices
+from repro.diffusion.base import (
+    BatchOutcome,
+    DiffusionModel,
+    DiffusionOutcome,
+    validate_seed_indices,
+)
 from repro.diffusion.linear_threshold import resolve_lt_weights
 from repro.graphs.digraph import CompiledGraph
 
@@ -27,6 +32,17 @@ class LiveEdgeModel(DiffusionModel):
 
     name = "lt-live-edge"
     opinion_aware = False
+
+    def simulate_batch(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        rng: np.random.Generator,
+        count: int,
+    ) -> BatchOutcome:
+        from repro.diffusion.batch import run_live_edge_batch
+
+        return run_live_edge_batch(graph, seeds, rng, count)
 
     def sample_live_parents(
         self, graph: CompiledGraph, rng: np.random.Generator

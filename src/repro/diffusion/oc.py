@@ -20,7 +20,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.diffusion.base import DiffusionModel, DiffusionOutcome, validate_seed_indices
+from repro.diffusion.base import (
+    BatchOutcome,
+    DiffusionModel,
+    DiffusionOutcome,
+    validate_seed_indices,
+)
+from repro.diffusion.batch import run_lt_batch
 from repro.diffusion.linear_threshold import draw_thresholds, resolve_lt_weights
 from repro.graphs.digraph import CompiledGraph
 
@@ -30,6 +36,15 @@ class OCModel(DiffusionModel):
 
     name = "oc"
     opinion_aware = True
+
+    def simulate_batch(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        rng: np.random.Generator,
+        count: int,
+    ) -> BatchOutcome:
+        return run_lt_batch(graph, seeds, rng, count, opinion="mean")
 
     def simulate(
         self,
@@ -69,10 +84,16 @@ class OCModel(DiffusionModel):
                     position = start + int(np.nonzero(in_neighbors == node)[0][0])
                     accumulated[target] += weights[position]
                     touched.add(target)
+            # Strict synchronous rounds: decide every activation of the round
+            # first, then compute opinions against the *pre-round* active set,
+            # so the result does not depend on the iteration order of
+            # ``touched`` (and matches the batch kernel's semantics).
+            newly = [
+                target for target in touched
+                if not active[target] and accumulated[target] >= thresholds[target]
+            ]
             next_frontier: deque[int] = deque()
-            for target in touched:
-                if active[target] or accumulated[target] < thresholds[target]:
-                    continue
+            for target in newly:
                 start, end = graph.in_indptr[target], graph.in_indptr[target + 1]
                 neighbour_opinions = [
                     final_opinion[int(graph.in_indices[offset])]
@@ -81,11 +102,12 @@ class OCModel(DiffusionModel):
                 ]
                 neighbour_term = float(np.mean(neighbour_opinions)) if neighbour_opinions else 0.0
                 opinion = (graph.opinions[target] + neighbour_term) / 2.0
-                active[target] = True
                 final_opinion[target] = opinion
                 outcome.activated.append(target)
                 outcome.final_opinions[target] = float(opinion)
                 next_frontier.append(target)
+            for target in newly:
+                active[target] = True
             frontier = next_frontier
         outcome.rounds = rounds
         return outcome

@@ -23,7 +23,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.diffusion.base import DiffusionModel, DiffusionOutcome, validate_seed_indices
+from repro.diffusion.base import (
+    BatchOutcome,
+    DiffusionModel,
+    DiffusionOutcome,
+    validate_seed_indices,
+)
+from repro.diffusion.batch import run_ic_batch, run_lt_batch, wc_out_probabilities
 from repro.diffusion.linear_threshold import draw_thresholds, resolve_lt_weights
 from repro.exceptions import ConfigurationError
 from repro.graphs.digraph import CompiledGraph
@@ -59,6 +65,23 @@ class OpinionInteractionModel(DiffusionModel):
         if self.first_layer == "lt":
             return self._simulate_lt(graph, seeds, rng)
         return self._simulate_ic(graph, seeds, rng)
+
+    def simulate_batch(
+        self,
+        graph: CompiledGraph,
+        seeds: Sequence[int],
+        rng: np.random.Generator,
+        count: int,
+    ) -> BatchOutcome:
+        if self.first_layer == "lt":
+            return run_lt_batch(graph, seeds, rng, count, opinion="interaction")
+        if self.first_layer == "wc":
+            probabilities = wc_out_probabilities(graph)
+        else:
+            probabilities = graph.out_probability
+        return run_ic_batch(
+            graph, seeds, rng, count, probabilities, opinion="interaction"
+        )
 
     # --------------------------------------------------------- IC first layer
 
@@ -162,10 +185,16 @@ class OpinionInteractionModel(DiffusionModel):
                     position = start + int(np.nonzero(in_neighbors == node)[0][0])
                     accumulated[target] += weights[position]
                     touched.add(target)
+            # Strict synchronous rounds: decide the round's activations first,
+            # then average contributions against the *pre-round* active set,
+            # so the result does not depend on the iteration order of
+            # ``touched`` (and matches the batch kernel's semantics).
+            newly = [
+                target for target in touched
+                if not active[target] and accumulated[target] >= thresholds[target]
+            ]
             next_frontier: deque[int] = deque()
-            for target in touched:
-                if active[target] or accumulated[target] < thresholds[target]:
-                    continue
+            for target in newly:
                 # Average the (possibly sign-flipped) opinions of the already
                 # active in-neighbours, weighted equally (Sec. 2.2, OI under LT).
                 start, end = graph.in_indptr[target], graph.in_indptr[target + 1]
@@ -182,11 +211,12 @@ class OpinionInteractionModel(DiffusionModel):
                 else:  # pragma: no cover - activation requires an active in-neighbour
                     neighbour_term = 0.0
                 opinion = (graph.opinions[target] + neighbour_term) / 2.0
-                active[target] = True
                 final_opinion[target] = opinion
                 outcome.activated.append(target)
                 outcome.final_opinions[target] = float(opinion)
                 next_frontier.append(target)
+            for target in newly:
+                active[target] = True
             frontier = next_frontier
         outcome.rounds = rounds
         return outcome

@@ -2,16 +2,25 @@
 
 The paper reports every quality number as an average over 10K Monte-Carlo
 simulations.  :class:`MonteCarloEngine` provides that estimation loop with a
-configurable number of simulations, deterministic seeding, and an outcome
+configurable number of simulations, deterministic seeding, and an LRU outcome
 cache keyed by seed set so greedy algorithms that re-evaluate the same set do
 not pay for it twice.
+
+Simulations are executed through :meth:`DiffusionModel.simulate_batch` in
+fixed-size blocks of cascades: each block advances hundreds of cascades per
+vectorized numpy pass and all three objectives are computed with matrix
+reductions over the block's :class:`~repro.diffusion.base.BatchOutcome`.
+Block seeds are derived from the engine seed *before* any work is dispatched,
+so the estimate for a given engine seed is identical regardless of how many
+worker processes the blocks are spread across.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -19,7 +28,23 @@ from repro.diffusion.base import DiffusionModel
 from repro.diffusion.registry import get_model
 from repro.exceptions import ConfigurationError
 from repro.graphs.digraph import CompiledGraph, DiGraph, Node
-from repro.utils.rng import RandomState, ensure_rng, spawn_rng
+from repro.utils.rng import RandomState, ensure_rng
+
+#: Upper bound on cascades advanced per vectorized batch.  Bounds the
+#: ``(count, n)`` state matrices — a kernel holds a handful of them (boolean
+#: activation plus, for LT/opinion-aware kernels, float64 opinion, threshold
+#: and accumulator matrices and an int32 dedup scratch), so a 512-cascade
+#: block costs roughly ``25 * n`` bytes times 512 in the worst case.  Lower
+#: it for very large graphs; raising it rarely helps (narrower blocks are
+#: cache-friendlier).
+DEFAULT_BATCH_SIZE = 512
+
+#: Minimum number of blocks an estimate is split into (when ``simulations``
+#: allows).  The block plan is a pure function of ``simulations`` and
+#: ``batch_size`` — never of ``workers`` — so estimates are reproducible
+#: across worker counts while still giving a process pool at least this many
+#: independent tasks to spread.
+MIN_BLOCKS = 8
 
 
 def _simulate_batch(
@@ -30,20 +55,40 @@ def _simulate_batch(
     batch_seed: int,
     count: int,
 ) -> np.ndarray:
-    """Run ``count`` cascades and return a ``(3, count)`` array of objectives.
+    """Run one block of ``count`` cascades; returns a ``(3, count)`` array.
 
     Module-level so it can be pickled and dispatched to worker processes; the
     paper runs its 10K Monte-Carlo simulations in parallel on 20 cores
     (Sec. 4, footnote 9) and this is the equivalent hook.
     """
     rng = np.random.default_rng(batch_seed)
-    results = np.zeros((3, count), dtype=np.float64)
-    for i in range(count):
-        outcome = model.simulate(graph, list(seeds), rng)
-        results[0, i] = outcome.spread()
-        results[1, i] = outcome.opinion_spread()
-        results[2, i] = outcome.effective_opinion_spread(penalty)
-    return results
+    outcome = model.simulate_batch(graph, list(seeds), rng, count)
+    return outcome.objectives(penalty)
+
+
+#: Per-worker-process state installed by :func:`_init_pool_worker`.
+_POOL_STATE: dict = {}
+
+
+def _init_pool_worker(model: DiffusionModel, graph: CompiledGraph) -> None:
+    """Stash the engine's model and graph in the worker process once.
+
+    Shipping the (potentially large) compiled graph at pool creation instead
+    of with every task keeps per-``estimate`` dispatch overhead to a few
+    scalars, which matters on the greedy hot path where ``estimate`` runs
+    thousands of times against one pool.
+    """
+    _POOL_STATE["model"] = model
+    _POOL_STATE["graph"] = graph
+
+
+def _simulate_batch_pooled(
+    seeds: tuple, penalty: float, batch_seed: int, count: int
+) -> np.ndarray:
+    """Worker-side block runner using the state set by :func:`_init_pool_worker`."""
+    return _simulate_batch(
+        _POOL_STATE["model"], _POOL_STATE["graph"], seeds, penalty, batch_seed, count
+    )
 
 
 @dataclass
@@ -91,6 +136,7 @@ class MonteCarloEngine:
         seed: RandomState = None,
         cache_size: int = 4096,
         workers: int = 1,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         if simulations < 1:
             raise ConfigurationError(f"simulations must be >= 1, got {simulations}")
@@ -98,17 +144,24 @@ class MonteCarloEngine:
             raise ConfigurationError(f"penalty must be >= 0, got {penalty}")
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         self.graph = graph.compile() if isinstance(graph, DiGraph) else graph
         self.model = get_model(model) if isinstance(model, str) else model
         self.simulations = simulations
         self.penalty = penalty
         #: Number of worker processes used per estimate.  ``1`` (default) runs
-        #: in-process; values > 1 split the simulations into per-worker batches,
-        #: mirroring the paper's 20-core parallel Monte-Carlo setup.
+        #: in-process; values > 1 spread the simulation blocks across worker
+        #: processes, mirroring the paper's 20-core parallel Monte-Carlo setup.
         self.workers = workers
+        #: Cascades per vectorized batch; the last block of an estimate may be
+        #: smaller.  Block boundaries depend only on ``simulations`` and
+        #: ``batch_size``, never on ``workers``.
+        self.batch_size = batch_size
         self._rng = ensure_rng(seed)
-        self._cache: dict[frozenset, SpreadEstimate] = {}
+        self._cache: OrderedDict[frozenset, SpreadEstimate] = OrderedDict()
         self._cache_size = cache_size
+        self._pool: Optional[ProcessPoolExecutor] = None
         #: Number of individual cascades simulated so far (for benchmarking).
         self.total_simulations_run = 0
 
@@ -120,6 +173,7 @@ class MonteCarloEngine:
         key = frozenset(indices)
         cached = self._cache.get(key)
         if cached is not None:
+            self._cache.move_to_end(key)
             return cached
 
         if self.workers > 1:
@@ -140,9 +194,12 @@ class MonteCarloEngine:
             effective_opinion_spread_std=float(effective_spreads.std()),
             penalty=self.penalty,
         )
-        if len(self._cache) >= self._cache_size:
-            self._cache.clear()
-        self._cache[key] = estimate
+        # LRU eviction: drop the least recently used entry, never the whole
+        # cache — CELF-style algorithms re-evaluate recent seed sets heavily.
+        while self._cache and len(self._cache) >= self._cache_size:
+            self._cache.popitem(last=False)
+        if self._cache_size > 0:
+            self._cache[key] = estimate
         return estimate
 
     def expected_spread(self, seeds: Sequence[Union[int, Node]]) -> float:
@@ -164,37 +221,70 @@ class MonteCarloEngine:
 
     # ------------------------------------------------------------ execution
 
+    def _block_plan(self) -> List[Tuple[int, int]]:
+        """``(seed, count)`` per batch block, independent of worker count.
+
+        The per-block seeds are all drawn from the engine RNG up front and
+        the block sizes depend only on ``simulations`` and ``batch_size``, so
+        serial and parallel execution of the same plan produce bit-identical
+        objective arrays for a fixed engine seed regardless of ``workers``.
+        Splitting into at least :data:`MIN_BLOCKS` blocks keeps a process
+        pool busy even when ``simulations <= batch_size``.
+        """
+        block = max(1, min(self.batch_size, -(-self.simulations // MIN_BLOCKS)))
+        counts = [block] * (self.simulations // block)
+        remainder = self.simulations % block
+        if remainder:
+            counts.append(remainder)
+        seeds = self._rng.integers(0, np.iinfo(np.int64).max, size=len(counts))
+        return [(int(seed), int(count)) for seed, count in zip(seeds, counts)]
+
     def _run_serial(self, indices: list[int]) -> np.ndarray:
-        """Run every simulation in-process; returns a ``(3, simulations)`` array."""
-        results = np.zeros((3, self.simulations), dtype=np.float64)
-        rngs = spawn_rng(self._rng, self.simulations)
-        for i, rng in enumerate(rngs):
-            outcome = self.model.simulate(self.graph, indices, rng)
-            results[0, i] = outcome.spread()
-            results[1, i] = outcome.opinion_spread()
-            results[2, i] = outcome.effective_opinion_spread(self.penalty)
-        return results
+        """Run every block in-process; returns a ``(3, simulations)`` array."""
+        blocks = [
+            _simulate_batch(
+                self.model, self.graph, tuple(indices), self.penalty, seed, count
+            )
+            for seed, count in self._block_plan()
+        ]
+        return np.concatenate(blocks, axis=1)
 
     def _run_parallel(self, indices: list[int]) -> np.ndarray:
-        """Split the simulations across ``self.workers`` processes."""
-        batch_sizes = [len(chunk) for chunk in np.array_split(range(self.simulations),
-                                                              self.workers) if len(chunk)]
-        batch_seeds = self._rng.integers(0, np.iinfo(np.int64).max, size=len(batch_sizes))
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = [
-                pool.submit(
-                    _simulate_batch,
-                    self.model,
-                    self.graph,
-                    tuple(indices),
-                    self.penalty,
-                    int(batch_seed),
-                    int(size),
-                )
-                for batch_seed, size in zip(batch_seeds, batch_sizes)
-            ]
-            batches = [future.result() for future in futures]
+        """Spread the same block plan across ``self.workers`` processes.
+
+        The pool is created once per engine (shipping the graph and model to
+        each worker a single time) and reused by every subsequent estimate.
+        """
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(
+                _simulate_batch_pooled, tuple(indices), self.penalty, seed, count
+            )
+            for seed, count in self._block_plan()
+        ]
+        batches = [future.result() for future in futures]
         return np.concatenate(batches, axis=1)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_pool_worker,
+                initargs=(self.model, self.graph),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial engines)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------- helpers
 

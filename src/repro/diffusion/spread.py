@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence, Union
 
-from repro.diffusion.base import DiffusionModel, DiffusionOutcome
+from repro.diffusion.base import BatchOutcome, DiffusionModel, DiffusionOutcome
 from repro.diffusion.registry import get_model
 from repro.diffusion.simulation import MonteCarloEngine
 from repro.graphs.digraph import CompiledGraph, DiGraph, Node
@@ -30,6 +30,22 @@ def simulate_once(
     resolved = get_model(model) if isinstance(model, str) else model
     indices = [compiled.index_of.get(s, s) for s in seeds]
     return resolved.simulate(compiled, [int(i) for i in indices], ensure_rng(seed))
+
+
+def simulate_batch(
+    graph: GraphLike,
+    model: ModelLike,
+    seeds: Sequence[Node],
+    count: int,
+    seed: RandomState = None,
+) -> BatchOutcome:
+    """Run ``count`` cascades as one vectorized batch and return the outcome."""
+    compiled = graph.compile() if isinstance(graph, DiGraph) else graph
+    resolved = get_model(model) if isinstance(model, str) else model
+    indices = [compiled.index_of.get(s, s) for s in seeds]
+    return resolved.simulate_batch(
+        compiled, [int(i) for i in indices], ensure_rng(seed), count
+    )
 
 
 def spread(outcome: DiffusionOutcome) -> float:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.diffusion.batch import wc_out_probabilities
 from repro.diffusion.independent_cascade import IndependentCascadeModel
 from repro.graphs.digraph import CompiledGraph
 
@@ -27,16 +28,14 @@ class WeightedCascadeModel(IndependentCascadeModel):
         probabilities = self._probabilities_for(graph)
         return probabilities[graph.out_indptr[node]:graph.out_indptr[node + 1]]
 
+    def batch_edge_probabilities(self, graph: CompiledGraph) -> np.ndarray:
+        return self._probabilities_for(graph)
+
     def _probabilities_for(self, graph: CompiledGraph) -> np.ndarray:
         """Edge-aligned WC probabilities, cached per compiled graph."""
         if self._cache_graph_id == id(graph) and self._cache_probabilities is not None:
             return self._cache_probabilities
-        in_degrees = np.diff(graph.in_indptr).astype(np.float64)
-        # Nodes with no in-edges never appear as a target, so the value is moot;
-        # guard against division by zero anyway.
-        safe = np.where(in_degrees > 0, in_degrees, 1.0)
-        per_target = 1.0 / safe
-        probabilities = per_target[graph.out_indices]
+        probabilities = wc_out_probabilities(graph)
         self._cache_graph_id = id(graph)
         self._cache_probabilities = probabilities
         return probabilities
