@@ -13,18 +13,24 @@ The implementation follows the published sampling phase:
    certifies ``OPT >= LB``.
 2. Draw ``theta(LB)`` RR sets in total and run the final greedy coverage.
 
-The same ``max_rr_sets`` safety cap as TIM+ applies.
+Sets are drawn block-wise through the vectorized
+:class:`~repro.sketches.sampler.BatchRRSampler` into one CSR-backed
+:class:`~repro.sketches.collection.RRSetCollection`, so every set sampled
+while searching for the lower bound is reused by later rounds and by the
+final cover — the martingale reuse that distinguishes IMM from TIM+.  The
+same ``max_rr_sets`` safety cap as TIM+ applies, and seed sets are
+independent of the sampling ``block_size`` for a fixed engine seed.
 """
 
 from __future__ import annotations
 
 import math
 
-import numpy as np
-
-from repro.algorithms.base import SeedSelector
 from repro.algorithms.tim import TIMPlusSelector, _log_binomial
 from repro.graphs.digraph import CompiledGraph
+from repro.sketches.collection import RRSetCollection
+from repro.sketches.coverage import greedy_max_coverage, pad_with_unselected
+from repro.sketches.sampler import BatchRRSampler
 
 
 class IMMSelector(TIMPlusSelector):
@@ -35,14 +41,14 @@ class IMMSelector(TIMPlusSelector):
     def _select(self, graph: CompiledGraph, budget: int) -> tuple[list[int], dict]:
         n = graph.number_of_nodes
         probabilities = self._in_probabilities(graph)
-        rng = self._rng
+        sampler = BatchRRSampler(graph, self.model, probabilities)
         epsilon = self.epsilon
         ell = self.ell * (1.0 + math.log(2) / max(math.log(n), 1e-9))
 
         log_nk = _log_binomial(n, budget)
         epsilon_prime = math.sqrt(2.0) * epsilon
 
-        rr_sets: list[list[int]] = []
+        collection = RRSetCollection(n)
         lower_bound = 1.0
         rounds = int(math.ceil(math.log2(max(n, 2)))) - 1
         for i in range(1, max(rounds, 1) + 1):
@@ -54,15 +60,12 @@ class IMMSelector(TIMPlusSelector):
                 / (epsilon_prime ** 2)
             )
             theta_i = min(int(math.ceil(lambda_prime / x)), self.max_rr_sets)
-            while len(rr_sets) < theta_i:
-                root = int(rng.integers(0, n))
-                members, _ = self._sample_rr_set(graph, probabilities, root)
-                rr_sets.append(members)
-            _, covered_fraction = self._max_coverage(n, rr_sets, budget)
+            self._grow_collection(sampler, collection, theta_i)
+            _, covered_fraction = greedy_max_coverage(collection, budget)
             if n * covered_fraction >= (1.0 + epsilon_prime) * x:
                 lower_bound = n * covered_fraction / (1.0 + epsilon_prime)
                 break
-            if len(rr_sets) >= self.max_rr_sets:
+            if collection.num_sets >= self.max_rr_sets:
                 lower_bound = max(n * covered_fraction, 1.0)
                 break
 
@@ -71,15 +74,15 @@ class IMMSelector(TIMPlusSelector):
             (1.0 - 1.0 / math.e) * (log_nk + ell * math.log(n) + math.log(2))
         )
         lambda_star = 2.0 * n * ((1.0 - 1.0 / math.e) * alpha + beta) ** 2 / (epsilon ** 2)
-        theta = min(int(math.ceil(lambda_star / max(lower_bound, 1.0))), self.max_rr_sets)
-        while len(rr_sets) < theta:
-            root = int(rng.integers(0, n))
-            members, _ = self._sample_rr_set(graph, probabilities, root)
-            rr_sets.append(members)
+        theta = min(
+            int(math.ceil(lambda_star / max(lower_bound, 1.0))), self.max_rr_sets
+        )
+        self._grow_collection(sampler, collection, theta)
 
-        seeds, covered_fraction = self._max_coverage(n, rr_sets, budget)
+        covering, covered_fraction = greedy_max_coverage(collection, budget)
+        seeds = pad_with_unselected(n, covering, budget)
         return seeds, {
             "lower_bound": lower_bound,
-            "theta": len(rr_sets),
+            "theta": collection.num_sets,
             "estimated_spread": covered_fraction * n,
         }

@@ -26,7 +26,7 @@ import numpy as np
 from repro.algorithms.base import SeedSelector
 from repro.diffusion.base import DiffusionModel
 from repro.diffusion.registry import get_model
-from repro.exceptions import ConfigurationError
+from repro.exceptions import BudgetError, ConfigurationError
 from repro.graphs.digraph import CompiledGraph
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -83,6 +83,10 @@ class ScoreGreedySelector(SeedSelector):
                     remaining = np.array(
                         [i for i in range(n) if i not in selected], dtype=np.int64
                     )
+                if remaining.size == 0:
+                    # Only reachable when _select is driven directly with a
+                    # budget exceeding the node count (select() validates).
+                    raise BudgetError(budget, n)
                 best = int(remaining[0])
             selected.append(best)
             final_scores[best] = float(scores[best]) if np.isfinite(scores[best]) else 0.0

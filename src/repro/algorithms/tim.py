@@ -9,9 +9,22 @@ The implementation follows the published two-phase structure:
 
 1. **KPT estimation** — estimate a lower bound on the optimal expected spread
    by measuring the width (number of edges traversed) of progressively larger
-   batches of RR sets, then refine it with the heuristic KPT* step.
-2. **Node selection** — draw ``theta = lambda / KPT`` RR sets and run greedy
+   batches of RR sets (Algorithm 2), then refine it with the KPT* step
+   (Algorithm 3): greedily cover the estimation-phase RR sets, measure the
+   fraction of fresh RR sets that cover hits, and take the larger bound.
+2. **Node selection** — draw ``theta = lambda / KPT*`` RR sets and run greedy
    maximum coverage.
+
+All RR-set machinery runs on the vectorized sketch subsystem
+(:mod:`repro.sketches`): blocks of reverse BFS frontiers are advanced per
+numpy pass over the in-CSR arrays, sets are stored in a CSR-backed
+:class:`~repro.sketches.collection.RRSetCollection`, and the cover is a
+heap/counter lazy-greedy.  Sampling is chunked into ``block_size`` sets per
+pass; the per-set counter-based randomness guarantees that the selected
+seeds are identical for a fixed engine seed regardless of the block size.
+The scalar per-set samplers are retained (``_sample_rr_set``,
+``_sample_rr_set_lt``) as the reference implementation for equivalence tests
+and the RIS benchmark baseline.
 
 The paper's scalability critique of TIM+ is its memory footprint — all
 ``theta`` RR sets are materialised — which this implementation reproduces
@@ -24,16 +37,21 @@ on our machine" annotations in the paper.
 from __future__ import annotations
 
 import math
-from typing import Union
+from typing import Tuple
 
 import numpy as np
 
 from repro.algorithms.base import SeedSelector
 from repro.exceptions import ConfigurationError
 from repro.graphs.digraph import CompiledGraph
+from repro.sketches.collection import RRSetCollection
+from repro.sketches.coverage import greedy_max_coverage, pad_with_unselected
+from repro.sketches.sampler import (
+    SUPPORTED_MODELS as _SUPPORTED_MODELS,
+    BatchRRSampler,
+    in_edge_probabilities,
+)
 from repro.utils.rng import RandomState, ensure_rng
-
-_SUPPORTED_MODELS = ("ic", "wc", "lt")
 
 
 def _log_binomial(n: int, k: int) -> float:
@@ -56,6 +74,7 @@ class TIMPlusSelector(SeedSelector):
         epsilon: float = 0.1,
         ell: float = 1.0,
         max_rr_sets: int = 2_000_000,
+        block_size: int = 2048,
         seed: RandomState = None,
     ) -> None:
         if model not in _SUPPORTED_MODELS:
@@ -66,23 +85,24 @@ class TIMPlusSelector(SeedSelector):
             raise ConfigurationError(f"epsilon must lie in (0, 1), got {epsilon}")
         if ell <= 0:
             raise ConfigurationError(f"ell must be > 0, got {ell}")
+        if max_rr_sets < 1:
+            raise ConfigurationError(
+                f"max_rr_sets must be >= 1, got {max_rr_sets}"
+            )
+        if block_size < 1:
+            raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
         self.model = model
         self.epsilon = epsilon
         self.ell = ell
         self.max_rr_sets = max_rr_sets
+        self.block_size = block_size
         self._rng = ensure_rng(seed)
 
     # --------------------------------------------------------------- RR sets
 
     def _in_probabilities(self, graph: CompiledGraph) -> np.ndarray:
         """In-edge aligned traversal probabilities for the configured model."""
-        if self.model == "ic":
-            return graph.in_probability
-        if self.model == "lt" and np.any(graph.in_weight > 0):
-            return graph.in_weight
-        in_degrees = np.diff(graph.in_indptr).astype(np.float64)
-        safe = np.where(in_degrees > 0, in_degrees, 1.0)
-        return np.repeat(1.0 / safe, np.diff(graph.in_indptr))
+        return in_edge_probabilities(graph, self.model)
 
     def _sample_rr_set(
         self,
@@ -90,7 +110,12 @@ class TIMPlusSelector(SeedSelector):
         probabilities: np.ndarray,
         root: int,
     ) -> tuple[list[int], int]:
-        """Sample one RR set rooted at ``root``; return (members, edges_examined)."""
+        """Scalar reference sampler: one RR set rooted at ``root``.
+
+        Returns ``(members, edges_examined)``.  The hot path uses
+        :class:`~repro.sketches.sampler.BatchRRSampler`; this walk is kept
+        for equivalence tests and the scalar benchmark baseline.
+        """
         if self.model == "lt":
             return self._sample_rr_set_lt(graph, probabilities, root)
         members = [root]
@@ -149,36 +174,117 @@ class TIMPlusSelector(SeedSelector):
             current = source
         return members, edges_examined
 
+    # ---------------------------------------------------------- block growth
+
+    def _grow_collection(
+        self,
+        sampler: BatchRRSampler,
+        collection: RRSetCollection,
+        target: int,
+    ) -> None:
+        """Sample RR sets block-wise until ``collection`` holds ``target``."""
+        sampler.sample_into(self._rng, collection, target, self.block_size)
+
     # ---------------------------------------------------------- KPT estimate
 
     def _estimate_kpt(
         self, graph: CompiledGraph, probabilities: np.ndarray, budget: int
     ) -> float:
         """Phase-1 KPT estimation (Algorithm 2 of the TIM paper)."""
+        kpt, _ = self._estimate_kpt_with_sets(
+            graph, BatchRRSampler(graph, self.model, probabilities), budget
+        )
+        return kpt
+
+    def _estimate_kpt_with_sets(
+        self,
+        graph: CompiledGraph,
+        sampler: BatchRRSampler,
+        budget: int,
+    ) -> Tuple[float, RRSetCollection]:
+        """Algorithm 2 on the batch sampler.
+
+        Also returns the RR sets of the final estimation round, which the
+        KPT* refinement (Algorithm 3) reuses for its greedy cover.
+        """
         n = graph.number_of_nodes
         m = max(graph.number_of_edges, 1)
-        rng = self._rng
         for i in range(1, max(2, int(math.log2(n)))):
-            batch = int((6 * self.ell * math.log(n) + 6 * math.log(math.log2(max(n, 2)))) * (2 ** i))
+            batch = int(
+                (6 * self.ell * math.log(n)
+                 + 6 * math.log(math.log2(max(n, 2)))) * (2 ** i)
+            )
             batch = min(batch, self.max_rr_sets)
+            collection = RRSetCollection(n)
             total = 0.0
-            for _ in range(batch):
-                root = int(rng.integers(0, n))
-                members, width = self._sample_rr_set(graph, probabilities, root)
-                kappa = 1.0 - (1.0 - width / m) ** budget
-                total += kappa
+            drawn = 0
+            while drawn < batch:
+                block = min(self.block_size, batch - drawn)
+                members, indptr, widths = sampler.sample(self._rng, block)
+                collection.append(members, indptr)
+                kappa = 1.0 - (1.0 - widths / m) ** budget
+                total += float(kappa.sum())
+                drawn += block
             if batch and total / batch > 1.0 / (2 ** i):
-                return max(n * total / (2.0 * batch), 1.0)
+                return max(n * total / (2.0 * batch), 1.0), collection
             if batch >= self.max_rr_sets:
                 break
-        return 1.0
+        return 1.0, collection
+
+    def _refine_kpt(
+        self,
+        sampler: BatchRRSampler,
+        estimation_sets: RRSetCollection,
+        kpt: float,
+        budget: int,
+    ) -> float:
+        """KPT* refinement (Algorithm 3 of the TIM paper).
+
+        Greedily covers the estimation-phase RR sets to get an interim seed
+        set, measures the fraction ``f`` of fresh RR sets that seed set
+        intersects, and returns ``max(KPT, f * n / (1 + eps'))`` — a bound
+        that is never worse than KPT, so phase-2 theta is never inflated by
+        a weak phase-1 estimate.
+        """
+        n = sampler.n
+        if estimation_sets.num_sets == 0 or n == 0:
+            return kpt
+        interim, _ = greedy_max_coverage(estimation_sets, budget)
+        if not interim:
+            return kpt
+        epsilon_prime = 5.0 * (
+            self.ell * self.epsilon ** 2 / (budget + self.ell)
+        ) ** (1.0 / 3.0)
+        lambda_prime = (
+            (2.0 + epsilon_prime) * self.ell * n * math.log(max(n, 2))
+            / (epsilon_prime ** 2)
+        )
+        theta_prime = int(math.ceil(lambda_prime / max(kpt, 1.0)))
+        theta_prime = max(1, min(theta_prime, self.max_rr_sets))
+        seed_mask = np.zeros(n, dtype=bool)
+        seed_mask[np.asarray(interim, dtype=np.int64)] = True
+        covered = 0
+        drawn = 0
+        while drawn < theta_prime:
+            block = min(self.block_size, theta_prime - drawn)
+            members, indptr, _ = sampler.sample(self._rng, block)
+            hits = seed_mask[members]
+            if hits.any():
+                set_ids = np.repeat(np.arange(block), np.diff(indptr))
+                covered += int(np.unique(set_ids[hits]).size)
+            drawn += block
+        fraction = covered / theta_prime
+        kpt_prime = fraction * n / (1.0 + epsilon_prime)
+        return max(kpt, kpt_prime)
 
     # ------------------------------------------------------------ selection
 
     def _select(self, graph: CompiledGraph, budget: int) -> tuple[list[int], dict]:
         n = graph.number_of_nodes
         probabilities = self._in_probabilities(graph)
-        kpt = self._estimate_kpt(graph, probabilities, budget)
+        sampler = BatchRRSampler(graph, self.model, probabilities)
+        kpt, estimation_sets = self._estimate_kpt_with_sets(graph, sampler, budget)
+        kpt_star = self._refine_kpt(sampler, estimation_sets, kpt, budget)
 
         epsilon = self.epsilon
         lambda_ = (
@@ -187,25 +293,22 @@ class TIMPlusSelector(SeedSelector):
             * (self.ell * math.log(n) + _log_binomial(n, budget) + math.log(2))
             / (epsilon ** 2)
         )
-        theta = int(math.ceil(lambda_ / max(kpt, 1.0)))
+        theta = int(math.ceil(lambda_ / max(kpt_star, 1.0)))
         capped = theta > self.max_rr_sets
         theta = min(theta, self.max_rr_sets)
         theta = max(theta, 1)
 
-        rng = self._rng
-        rr_sets: list[list[int]] = []
-        for _ in range(theta):
-            root = int(rng.integers(0, n))
-            members, _ = self._sample_rr_set(graph, probabilities, root)
-            rr_sets.append(members)
-
-        seeds, covered_fraction = self._max_coverage(n, rr_sets, budget)
+        collection = RRSetCollection(n)
+        self._grow_collection(sampler, collection, theta)
+        covering, covered_fraction = greedy_max_coverage(collection, budget)
+        seeds = pad_with_unselected(n, covering, budget)
         estimated_spread = covered_fraction * n
         return seeds, {
             "kpt": kpt,
+            "kpt_star": kpt_star,
             "theta": theta,
             "theta_capped": capped,
-            "rr_sets": len(rr_sets),
+            "rr_sets": collection.num_sets,
             "estimated_spread": estimated_spread,
         }
 
@@ -213,30 +316,12 @@ class TIMPlusSelector(SeedSelector):
     def _max_coverage(
         n: int, rr_sets: list[list[int]], budget: int
     ) -> tuple[list[int], float]:
-        """Greedy maximum coverage of the RR sets by ``budget`` nodes."""
-        coverage: dict[int, set[int]] = {}
-        for set_index, members in enumerate(rr_sets):
-            for node in members:
-                coverage.setdefault(node, set()).add(set_index)
-        covered: set[int] = set()
-        seeds: list[int] = []
-        for _ in range(budget):
-            best_node = None
-            best_gain = -1
-            for node, sets in coverage.items():
-                if node in seeds:
-                    continue
-                gain = len(sets - covered)
-                if gain > best_gain:
-                    best_gain = gain
-                    best_node = node
-            if best_node is None:
-                # Not enough distinct nodes appear in RR sets; fill with any node.
-                for node in range(n):
-                    if node not in seeds:
-                        best_node = node
-                        break
-            seeds.append(int(best_node))
-            covered |= coverage.get(best_node, set())
-        fraction = len(covered) / len(rr_sets) if rr_sets else 0.0
-        return seeds, fraction
+        """Greedy maximum coverage of the RR sets by ``budget`` nodes.
+
+        Compatibility wrapper over the sketch subsystem's lazy-greedy cover;
+        pads with arbitrary unselected nodes when fewer than ``budget``
+        distinct nodes appear in the RR sets.
+        """
+        collection = RRSetCollection.from_lists(n, rr_sets)
+        covering, fraction = greedy_max_coverage(collection, budget)
+        return pad_with_unselected(n, covering, budget), fraction

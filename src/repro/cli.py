@@ -23,6 +23,8 @@ from repro.core.evaluation import evaluate_seed_prefixes
 from repro.datasets.registry import available_datasets, dataset_spec, load_dataset
 from repro.diffusion.registry import available_models
 from repro.diffusion.simulation import MonteCarloEngine
+from repro.exceptions import ConfigurationError
+from repro.sketches.sampler import SUPPORTED_MODELS as RIS_MODELS
 from repro.graphs.io import read_edge_list
 from repro.graphs.stats import compute_stats
 from repro.opinion.annotate import annotate_graph
@@ -53,6 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
     select_parser.add_argument("--budget", "-k", type=int, default=10)
     select_parser.add_argument("--max-path-length", "-l", type=int, default=3)
     select_parser.add_argument("--simulations", type=int, default=300)
+    select_parser.add_argument(
+        "--max-rr-sets", type=int, default=2_000_000,
+        help="RR-set cap for the RIS algorithms (tim+/imm)",
+    )
     select_parser.add_argument("--penalty", type=float, default=1.0)
     select_parser.add_argument(
         "--annotate", action="store_true",
@@ -129,7 +135,14 @@ def _command_select(args: argparse.Namespace) -> int:
         options["model"] = args.model
         options["simulations"] = max(50, args.simulations // 5)
     elif args.algorithm in ("tim+", "imm"):
-        options["model"] = args.model if args.model in ("ic", "wc", "lt") else "ic"
+        if args.model not in RIS_MODELS:
+            raise ConfigurationError(
+                f"algorithm {args.algorithm!r} only supports the "
+                f"{'/'.join(RIS_MODELS)} models, got {args.model!r}; pick one of "
+                "those or an opinion-aware algorithm (easyim/osim/greedy/...)"
+            )
+        options["model"] = args.model
+        options["max_rr_sets"] = args.max_rr_sets
     selector = get_algorithm(args.algorithm, **options)
     selection = selector.select(graph, args.budget)
     engine = MonteCarloEngine(
@@ -202,4 +215,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        sys.exit(2)

@@ -6,6 +6,7 @@ from repro.core.evaluation import (
     compare_seed_sets,
     evaluate_seed_prefixes,
     normalized_rmse_curve,
+    sketch_evaluate_seed_prefixes,
     SeedSetEvaluation,
 )
 
@@ -18,4 +19,5 @@ __all__ = [
     "compare_seed_sets",
     "evaluate_seed_prefixes",
     "normalized_rmse_curve",
+    "sketch_evaluate_seed_prefixes",
 ]

