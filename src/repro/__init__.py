@@ -41,6 +41,7 @@ from repro.graphs import (
     compute_stats,
     figure1_example_graph,
     from_edge_list,
+    graph_fingerprint,
     make_bidirectional,
     read_edge_list,
     write_edge_list,
@@ -67,6 +68,7 @@ from repro.core import (
     compare_seed_sets,
     evaluate_seed_prefixes,
 )
+from repro.serving import InfluenceIndex, InfluenceService
 
 __version__ = "1.0.0"
 
@@ -89,6 +91,7 @@ __all__ = [
     "write_edge_list",
     "compute_stats",
     "figure1_example_graph",
+    "graph_fingerprint",
     # diffusion
     "get_model",
     "available_models",
@@ -115,4 +118,7 @@ __all__ = [
     "MaximizationResult",
     "evaluate_seed_prefixes",
     "compare_seed_sets",
+    # serving
+    "InfluenceIndex",
+    "InfluenceService",
 ]

@@ -7,6 +7,14 @@ Installed as ``repro-im`` (see ``pyproject.toml``) and also runnable as
 * ``select``     — run a seed-selection algorithm on a dataset or edge list.
 * ``evaluate``   — evaluate a given seed set under a diffusion model.
 * ``experiments``— list the per-figure/table experiment index.
+* ``index build``— sample RR sketches once and persist an influence index.
+* ``index query``— answer select/evaluate/sweep queries from a persisted
+  index, warm (no resampling).
+* ``serve``      — run an :class:`~repro.serving.service.InfluenceService`
+  over a JSON-lines stdin/stdout protocol.
+
+``select``/``evaluate``/``index``/``serve`` all speak ``--json`` so service
+clients and scripts can consume results without parsing log text.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.algorithms.registry import available_algorithms, get_algorithm
@@ -28,6 +37,7 @@ from repro.sketches.sampler import SUPPORTED_MODELS as RIS_MODELS
 from repro.graphs.io import read_edge_list
 from repro.graphs.stats import compute_stats
 from repro.opinion.annotate import annotate_graph
+from repro.serving import InfluenceIndex, InfluenceService
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +90,89 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser.add_argument("--json", action="store_true")
 
     subparsers.add_parser("experiments", help="list the paper experiment index")
+
+    index_parser = subparsers.add_parser(
+        "index", help="build or query a persistent influence index"
+    )
+    index_subparsers = index_parser.add_subparsers(
+        dest="index_command", required=True
+    )
+
+    build_parser_ = index_subparsers.add_parser(
+        "build", help="sample RR sketches and persist an index artifact"
+    )
+    _add_graph_arguments(build_parser_)
+    build_parser_.add_argument(
+        "--model", default="ic", choices=sorted(RIS_MODELS),
+        help="RIS diffusion model the sketches are sampled under",
+    )
+    build_parser_.add_argument(
+        "--theta", type=int, default=20_000,
+        help="number of RR sets to sample into the index",
+    )
+    build_parser_.add_argument(
+        "--engine-seed", type=int, default=0,
+        help="sampling seed persisted with the artifact (growth replays it)",
+    )
+    build_parser_.add_argument("--block-size", type=int, default=2048)
+    build_parser_.add_argument(
+        "--output", "-o", required=True, help="artifact path (.npz)"
+    )
+    build_parser_.add_argument("--json", action="store_true")
+
+    query_parser = index_subparsers.add_parser(
+        "query", help="answer queries from a persisted index (no resampling)"
+    )
+    _add_graph_arguments(query_parser)
+    query_parser.add_argument(
+        "--artifact", required=True, help="index artifact built by `index build`"
+    )
+    what = query_parser.add_mutually_exclusive_group(required=True)
+    what.add_argument(
+        "--budget", "-k", type=int, help="warm seed selection for budget k"
+    )
+    what.add_argument(
+        "--seeds", help="comma-separated seeds to estimate the spread of"
+    )
+    what.add_argument(
+        "--sweep", help="comma-separated seed counts for a spread curve"
+    )
+    query_parser.add_argument(
+        "--grow-theta", type=int, default=None,
+        help="grow the index to this many RR sets (and re-persist) first",
+    )
+    query_parser.add_argument(
+        "--no-mmap", action="store_true",
+        help="load the artifact eagerly instead of memory-mapping it",
+    )
+    query_parser.add_argument("--json", action="store_true")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve influence queries over JSON lines on stdin/stdout"
+    )
+    _add_graph_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--model", default="ic", choices=sorted(RIS_MODELS),
+        help="model used when a request does not name one (the last "
+        "preloaded --artifact's model takes precedence over this default)",
+    )
+    serve_parser.add_argument(
+        "--artifact", action="append", default=[],
+        help="preload an index artifact (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--theta", type=int, default=20_000,
+        help="RR sets sampled when an index must be built on demand",
+    )
+    serve_parser.add_argument(
+        "--engine-seed", type=int, default=0,
+        help="sampling seed for on-demand indexes (same default as "
+        "`index build`, distinct from the graph-generation --seed)",
+    )
+    serve_parser.add_argument(
+        "--capacity", type=int, default=8,
+        help="maximum resident indexes before LRU eviction",
+    )
     return parser
 
 
@@ -161,22 +254,62 @@ def _command_select(args: argparse.Namespace) -> int:
         "expected_effective_opinion_spread": round(estimate.effective_opinion_spread, 3),
     }
     if args.json:
+        # Machine consumers also get the algorithm's own metadata (theta,
+        # KPT*, RR-set counts, ...) and the evaluation parameters.
+        payload["model"] = args.model
+        payload["simulations"] = args.simulations
+        payload["selection_metadata"] = _jsonable(selection.metadata)
         print(json.dumps(payload, indent=2))
     else:
         print(format_table([payload], title="Seed selection result"))
     return 0
 
 
+def _coerce_seed(token):
+    """Convert a seed token to an int label where possible, else keep it."""
+    if isinstance(token, str):
+        try:
+            return int(token)
+        except ValueError:
+            return token
+    return token
+
+
+def _parse_seeds(text: str) -> list:
+    """Parse a comma-separated seed list (ints where possible, else labels)."""
+    return [
+        _coerce_seed(token)
+        for token in (t.strip() for t in text.split(","))
+        if token
+    ]
+
+
+def _parse_counts(text: str) -> list:
+    """Parse a comma-separated list of seed counts for a k-sweep."""
+    try:
+        return [int(t) for t in text.split(",") if t.strip()]
+    except ValueError:
+        raise ConfigurationError(
+            f"sweep counts must be comma-separated integers, got {text!r}"
+        )
+
+
+def _jsonable(value):
+    """Best-effort conversion of metadata values to JSON-encodable types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy scalar or array of any shape
+        return value.tolist()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
 def _command_evaluate(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    raw_seeds = [token.strip() for token in args.seeds.split(",") if token.strip()]
-    seeds = []
-    for token in raw_seeds:
-        try:
-            node = int(token)
-        except ValueError:
-            node = token
-        seeds.append(node)
+    seeds = _parse_seeds(args.seeds)
     engine = MonteCarloEngine(
         graph, args.model, simulations=args.simulations,
         penalty=args.penalty, seed=args.seed,
@@ -191,6 +324,8 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         "simulations": args.simulations,
     }
     if args.json:
+        payload["dataset"] = graph.name
+        payload["penalty"] = args.penalty
         print(json.dumps(payload, indent=2))
     else:
         print(format_table([payload], title="Seed set evaluation"))
@@ -202,6 +337,178 @@ def _command_experiments(_: argparse.Namespace) -> int:
     return 0
 
 
+def _command_index(args: argparse.Namespace) -> int:
+    if args.index_command == "build":
+        return _command_index_build(args)
+    return _command_index_query(args)
+
+
+def _command_index_build(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    started = time.perf_counter()
+    index = InfluenceIndex.build(
+        graph,
+        args.model,
+        args.theta,
+        engine_seed=args.engine_seed,
+        block_size=args.block_size,
+    )
+    build_seconds = time.perf_counter() - started
+    path = index.save(args.output)
+    payload = {
+        "artifact": str(path),
+        "dataset": graph.name,
+        "model": args.model,
+        "theta": index.theta,
+        "nodes": index.graph.number_of_nodes,
+        "edges": index.graph.number_of_edges,
+        "fingerprint": index.fingerprint[:16],
+        "artifact_bytes": path.stat().st_size,
+        "build_seconds": round(build_seconds, 4),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table([payload], title="Influence index built"))
+    return 0
+
+
+def _command_index_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    started = time.perf_counter()
+    index = InfluenceIndex.load(args.artifact, graph, mmap=not args.no_mmap)
+    load_seconds = time.perf_counter() - started
+    if args.grow_theta is not None and args.grow_theta > index.theta:
+        index.grow(args.grow_theta)
+        index.save(args.artifact)
+    payload = {
+        "artifact": str(args.artifact),
+        "model": index.model,
+        "theta": index.theta,
+        "memory_mapped": index.memory_mapped,
+        "load_seconds": round(load_seconds, 6),
+    }
+    started = time.perf_counter()
+    if args.budget is not None:
+        selection = index.select(args.budget)
+        payload["query"] = "select"
+        payload["budget"] = args.budget
+        payload["seeds"] = [str(s) for s in selection.seeds]
+        payload["estimated_spread"] = round(selection.estimated_spread, 3)
+        payload["covered_fraction"] = round(selection.covered_fraction, 6)
+    elif args.seeds is not None:
+        seeds = _parse_seeds(args.seeds)
+        payload["query"] = "evaluate"
+        payload["seeds"] = [str(s) for s in seeds]
+        payload["estimated_spread"] = round(index.estimate_spread(seeds), 3)
+    else:
+        counts = _parse_counts(args.sweep)
+        curve = index.spread_curve(counts)
+        payload["query"] = "sweep"
+        payload["curve"] = {str(k): round(v, 3) for k, v in curve.items()}
+    payload["query_seconds"] = round(time.perf_counter() - started, 6)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        flat = dict(payload)
+        if "curve" in flat:
+            flat["curve"] = ", ".join(
+                f"k={k}: {v}" for k, v in flat["curve"].items()
+            )
+        if "seeds" in flat:
+            flat["seeds"] = ",".join(flat["seeds"])
+        print(format_table([flat], title="Influence index query"))
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """JSON-lines serving loop: one request object in, one response out.
+
+    Requests: ``{"op": "select", "k": 10}``, ``{"op": "evaluate",
+    "seeds": [..]}``, ``{"op": "sweep", "counts": [..]}``, ``{"op":
+    "stats"}``, ``{"op": "ping"}`` and ``{"op": "shutdown"}``.  Any request
+    may carry ``"model"`` to override the CLI default.  Responses carry
+    ``"ok"`` plus either the result fields or an ``"error"`` message, so a
+    client never has to parse log text.
+    """
+    from repro.exceptions import ReproError
+
+    # Compile once: the service keys every request by the graph's content
+    # fingerprint, which is cached on the immutable CompiledGraph — passing
+    # the mutable DiGraph would recompile and re-hash per request, costing
+    # more than the warm query itself.
+    graph = _load_graph(args).compile()
+    service = InfluenceService(
+        capacity=args.capacity,
+        default_theta=args.theta,
+        engine_seed=args.engine_seed,
+    )
+    default_model = args.model
+    for artifact in args.artifact:
+        loaded = service.load_artifact(artifact, graph)
+        # A request that names no model should hit the artifact the operator
+        # preloaded, not silently trigger an on-demand build under the CLI's
+        # --model default for a different model.
+        default_model = loaded.model
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ConfigurationError("request must be a JSON object")
+            op = request.get("op")
+            model = request.get("model", default_model)
+            if op == "ping":
+                response = {"ok": True, "op": "ping"}
+            elif op == "stats":
+                response = {"ok": True, "op": "stats", **_jsonable(service.stats())}
+            elif op == "select":
+                selection = service.select(graph, model, int(request["k"]))
+                response = {
+                    "ok": True,
+                    "op": "select",
+                    "seeds": [str(s) for s in selection.seeds],
+                    "estimated_spread": round(selection.estimated_spread, 3),
+                    "theta": selection.theta,
+                }
+            elif op == "evaluate":
+                seeds = request["seeds"]
+                if isinstance(seeds, str):
+                    seeds = _parse_seeds(seeds)
+                else:
+                    # Our own select responses carry seeds as JSON strings;
+                    # coerce element-wise so they round-trip into evaluate.
+                    seeds = [_coerce_seed(s) for s in seeds]
+                spread = service.evaluate(graph, model, seeds)
+                response = {
+                    "ok": True,
+                    "op": "evaluate",
+                    "estimated_spread": round(spread, 3),
+                }
+            elif op == "sweep":
+                curve = service.sweep(
+                    graph, model, [int(k) for k in request["counts"]]
+                )
+                response = {
+                    "ok": True,
+                    "op": "sweep",
+                    "curve": {str(k): round(v, 3) for k, v in curve.items()},
+                }
+            elif op == "shutdown":
+                print(json.dumps({"ok": True, "op": "shutdown"}), flush=True)
+                break
+            else:
+                raise ConfigurationError(f"unknown op {op!r}")
+        except (ReproError, KeyError, TypeError, ValueError, OverflowError) as error:
+            # A malformed request must never kill the loop — e.g. a JSON
+            # 1e400 becomes float('inf') and int() then raises OverflowError.
+            response = {"ok": False, "error": str(error) or repr(error)}
+        print(json.dumps(response), flush=True)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -210,13 +517,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "select": _command_select,
         "evaluate": _command_evaluate,
         "experiments": _command_experiments,
+        "index": _command_index,
+        "serve": _command_serve,
     }
     return handlers[args.command](args)
 
 
 if __name__ == "__main__":
+    from repro.exceptions import ReproError as _ReproError
+
     try:
         sys.exit(main())
-    except ConfigurationError as error:
+    except _ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         sys.exit(2)

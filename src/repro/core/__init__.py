@@ -5,6 +5,7 @@ from repro.core.maximizer import InfluenceMaximizer, MaximizationResult
 from repro.core.evaluation import (
     compare_seed_sets,
     evaluate_seed_prefixes,
+    index_evaluate_seed_prefixes,
     normalized_rmse_curve,
     sketch_evaluate_seed_prefixes,
     SeedSetEvaluation,
@@ -18,6 +19,7 @@ __all__ = [
     "SeedSetEvaluation",
     "compare_seed_sets",
     "evaluate_seed_prefixes",
+    "index_evaluate_seed_prefixes",
     "normalized_rmse_curve",
     "sketch_evaluate_seed_prefixes",
 ]

@@ -61,6 +61,24 @@ class AlgorithmError(ReproError, RuntimeError):
     """Raised when a seed-selection algorithm fails to produce a seed set."""
 
 
+class ServingError(ReproError, RuntimeError):
+    """Raised by the serving layer (artifact store, influence index, service)."""
+
+
+class IndexArtifactError(ServingError):
+    """Raised when a persisted influence-index artifact is malformed."""
+
+
+class IndexMismatchError(ServingError):
+    """Raised when an index artifact's provenance doesn't match the graph.
+
+    An influence index is only valid for the exact graph it was sampled on;
+    serving a stale index against a modified graph would silently return
+    wrong seeds, so the mismatch (content fingerprint, model, node count) is
+    rejected instead.
+    """
+
+
 class BudgetError(ConfigurationError):
     """Raised when the seed budget ``k`` is not satisfiable for the graph."""
 

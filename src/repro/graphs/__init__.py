@@ -21,6 +21,7 @@ from repro.graphs.generators import (
     stochastic_block_graph,
     watts_strogatz_graph,
 )
+from repro.graphs.fingerprint import graph_fingerprint
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.graphs.stats import GraphStats, compute_stats, effective_diameter
 from repro.graphs.special import (
@@ -49,6 +50,7 @@ __all__ = [
     "star_graph",
     "stochastic_block_graph",
     "watts_strogatz_graph",
+    "graph_fingerprint",
     "read_edge_list",
     "write_edge_list",
     "GraphStats",

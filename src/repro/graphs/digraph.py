@@ -394,6 +394,7 @@ class CompiledGraph:
         "in_weight",
         "opinions",
         "thresholds",
+        "_fingerprint",
     )
 
     def __init__(
@@ -427,6 +428,9 @@ class CompiledGraph:
         self.in_weight = in_weight
         self.opinions = opinions
         self.thresholds = thresholds
+        # Content-fingerprint cache; compiled graphs are immutable, so the
+        # digest is computed at most once (see repro.graphs.fingerprint).
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------ factory
 

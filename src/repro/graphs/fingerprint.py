@@ -1,0 +1,97 @@
+"""Stable content fingerprints for graphs.
+
+The serving layer persists influence indexes (RR-sketch collections) to disk
+and reloads them across processes; an index is only meaningful for the exact
+graph it was sampled on.  :func:`graph_fingerprint` provides the validation
+key: a SHA-256 digest over the compiled CSR arrays (topology), every edge
+annotation (IC probability, LT weight, interaction) and every node
+annotation (opinion, threshold), plus the node labels themselves.
+
+The digest is computed on the :class:`~repro.graphs.digraph.CompiledGraph`
+snapshot, so it is independent of *how* a graph was built (``add_edge``
+order does not matter beyond node-insertion order, which the compiled
+labels capture) and identical across processes and platforms of the same
+endianness for the same content.  Any change that could alter sampling —
+adding or removing a node or edge, or editing any probability, weight,
+interaction, opinion or threshold — changes the fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import CompiledGraph, DiGraph
+
+#: Bumped when the hashed byte layout changes, so old digests never
+#: accidentally validate against a new scheme.
+_FINGERPRINT_SCHEME = b"repro-graph-fingerprint-v1"
+
+#: Label types whose repr() is content-determined and therefore stable
+#: across processes (tuples are accepted recursively).
+_STABLE_LABEL_TYPES = (int, str, float, bool, bytes, type(None))
+
+
+def _is_stable_label(label) -> bool:
+    if isinstance(label, _STABLE_LABEL_TYPES):
+        return True
+    if isinstance(label, tuple):
+        return all(_is_stable_label(item) for item in label)
+    return False
+
+
+def _update_array(digest: "hashlib._Hash", array: np.ndarray, dtype) -> None:
+    """Feed ``array`` into ``digest`` with a length prefix.
+
+    Arrays are normalised to a fixed dtype in C order so the digest depends
+    only on values, never on the in-memory layout of the source array.
+    """
+    data = np.ascontiguousarray(array, dtype=dtype)
+    digest.update(np.int64(data.size).tobytes())
+    digest.update(data.tobytes())
+
+
+def graph_fingerprint(graph: Union[DiGraph, CompiledGraph]) -> str:
+    """Hex SHA-256 content fingerprint of ``graph``.
+
+    Accepts either a mutable :class:`DiGraph` (compiled internally) or an
+    existing :class:`CompiledGraph` when the caller wants to amortise
+    compilation.  Two graphs share a fingerprint exactly when their compiled
+    snapshots are identical: same labels in the same order, same edges, and
+    same node/edge annotations.
+    """
+    compiled = graph.compile() if isinstance(graph, DiGraph) else graph
+    if compiled._fingerprint is not None:
+        return compiled._fingerprint
+    digest = hashlib.sha256(_FINGERPRINT_SCHEME)
+    digest.update(np.int64(compiled.number_of_nodes).tobytes())
+    digest.update(np.int64(compiled.number_of_edges).tobytes())
+    # Labels are encoded through repr(), length-prefixed so concatenations
+    # cannot collide.  Only primitives (and tuples of primitives) are
+    # accepted: a default object repr embeds a memory address, which would
+    # make the digest process-local — every artifact would then fail
+    # validation with a misleading "graph content changed" error.
+    for label in compiled.labels:
+        if not _is_stable_label(label):
+            raise GraphError(
+                f"cannot fingerprint a graph whose node labels are "
+                f"{type(label).__name__!r}: label reprs must be stable "
+                "across processes (use ints, strings or tuples of them)"
+            )
+        encoded = repr(label).encode("utf-8")
+        digest.update(np.int64(len(encoded)).tobytes())
+        digest.update(encoded)
+    _update_array(digest, compiled.out_indptr, np.int64)
+    _update_array(digest, compiled.out_indices, np.int64)
+    _update_array(digest, compiled.out_probability, np.float64)
+    _update_array(digest, compiled.out_weight, np.float64)
+    _update_array(digest, compiled.out_interaction, np.float64)
+    _update_array(digest, compiled.opinions, np.float64)
+    # NaN thresholds ("draw per simulation") have a fixed bit pattern after
+    # the float64 normalisation, so they hash stably too.
+    _update_array(digest, compiled.thresholds, np.float64)
+    compiled._fingerprint = digest.hexdigest()
+    return compiled._fingerprint

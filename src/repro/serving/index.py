@@ -1,0 +1,355 @@
+"""Persistent influence index: warm seed selection over stored RR sketches.
+
+An :class:`InfluenceIndex` pairs a compiled graph with a persisted (or
+freshly sampled) :class:`~repro.sketches.collection.RRSetCollection` and
+answers the queries the CLI used to recompute from scratch on every call:
+
+* ``select(k)`` — lazy-greedy max coverage over the stored sets (the same
+  cover TIM+/IMM run after sampling), with per-budget result caching;
+* ``spread_curve(seed_counts)`` — a whole k-sweep from one cover pass;
+* ``estimate_spread(seeds)`` — the RIS spread oracle for arbitrary seed
+  sets, no resampling.
+
+**Deterministic growth.**  ``grow(theta)`` appends new sampler blocks to the
+stored collection and is *bit-for-bit* equivalent to building a fresh index
+at the larger theta: the batch sampler consumes exactly one 63-bit token per
+RR set from the engine generator, and bounded ``Generator.integers`` fills
+are split-invariant, so re-creating the generator from the persisted
+``engine_seed`` and drawing (and discarding) one token per stored set
+resumes the token stream exactly where the original build stopped.  Each
+set's randomness is a counter-based function of its own token, so the
+appended sets are the ones a fresh build would have drawn — that is what
+makes re-persisting a grown index indistinguishable from rebuilding.
+
+Indexes validate their provenance before serving: an artifact is refused
+unless its graph content fingerprint
+(:func:`~repro.graphs.fingerprint.graph_fingerprint`) matches the loaded
+graph, so a stale index can never silently answer for a modified network.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import (
+    BudgetError,
+    ConfigurationError,
+    IndexMismatchError,
+    ServingError,
+)
+from repro.graphs.digraph import CompiledGraph, DiGraph, Node
+from repro.graphs.fingerprint import graph_fingerprint
+from repro.serving.artifact import (
+    IndexArtifact,
+    build_metadata,
+    load_index_artifact,
+    save_index_artifact,
+)
+from repro.sketches.collection import RRSetCollection
+from repro.sketches.coverage import greedy_max_coverage, pad_with_unselected
+from repro.sketches.sampler import SUPPORTED_MODELS, BatchRRSampler
+
+DEFAULT_BLOCK_SIZE = 2048
+
+
+@dataclass
+class IndexSelection:
+    """Result of a warm ``select(k)`` query."""
+
+    seeds: List[Node]
+    budget: int
+    covered_fraction: float
+    estimated_spread: float
+    theta: int
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+class InfluenceIndex:
+    """A stored RR-sketch collection serving seed selection and evaluation.
+
+    Construct through :meth:`build` (sample now), :meth:`load` (reopen a
+    persisted artifact against its graph) or :meth:`from_artifact`.
+    All query methods are thread-safe; mutation (:meth:`grow`) is serialised
+    against queries with an internal lock.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledGraph,
+        collection: RRSetCollection,
+        *,
+        model: str,
+        engine_seed: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        fingerprint: Optional[str] = None,
+        memory_mapped: bool = False,
+        path: Optional[pathlib.Path] = None,
+        numpy_version: Optional[str] = None,
+    ) -> None:
+        if model not in SUPPORTED_MODELS:
+            raise ConfigurationError(
+                f"model must be one of {SUPPORTED_MODELS}, got {model!r}"
+            )
+        if block_size < 1:
+            raise ConfigurationError(
+                f"block_size must be >= 1, got {block_size}"
+            )
+        if collection.n != compiled.number_of_nodes:
+            raise IndexMismatchError(
+                f"collection covers {collection.n} nodes but the graph has "
+                f"{compiled.number_of_nodes}"
+            )
+        self.graph = compiled
+        self.collection = collection
+        self.model = model
+        self.engine_seed = int(engine_seed)
+        self.block_size = int(block_size)
+        self.fingerprint = fingerprint or graph_fingerprint(compiled)
+        self.memory_mapped = memory_mapped
+        self.path = path
+        # The numpy that sampled the stored sets; growth replays its
+        # Generator stream, which numpy does not keep stable across releases.
+        self.numpy_version = numpy_version or np.__version__
+        self._lock = threading.RLock()
+        self._selection_cache: Dict[int, IndexSelection] = {}
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def build(
+        cls,
+        graph: Union[DiGraph, CompiledGraph],
+        model: str,
+        theta: int,
+        *,
+        engine_seed: int = 0,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> "InfluenceIndex":
+        """Sample ``theta`` RR sets under ``model`` and wrap them as an index.
+
+        ``engine_seed`` must be an integer (not a live generator) because it
+        is persisted with the artifact and replayed by :meth:`grow`.
+        """
+        if not isinstance(engine_seed, (int, np.integer)):
+            raise ConfigurationError(
+                "engine_seed must be an integer so growth can replay the "
+                f"token stream, got {type(engine_seed).__name__}"
+            )
+        if theta < 0:
+            raise ConfigurationError(f"theta must be non-negative, got {theta}")
+        compiled = graph.compile() if isinstance(graph, DiGraph) else graph
+        index = cls(
+            compiled,
+            RRSetCollection(compiled.number_of_nodes),
+            model=model,
+            engine_seed=int(engine_seed),
+            block_size=block_size,
+        )
+        if theta:
+            index.grow(theta)
+        return index
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact: IndexArtifact,
+        graph: Union[DiGraph, CompiledGraph],
+    ) -> "InfluenceIndex":
+        """Wrap a loaded artifact, validating its provenance against ``graph``."""
+        compiled = graph.compile() if isinstance(graph, DiGraph) else graph
+        metadata = artifact.metadata
+        if int(metadata["n"]) != compiled.number_of_nodes:
+            raise IndexMismatchError(
+                f"artifact was built on {metadata['n']} nodes but the graph "
+                f"has {compiled.number_of_nodes}"
+            )
+        fingerprint = graph_fingerprint(compiled)
+        if metadata["graph_fingerprint"] != fingerprint:
+            raise IndexMismatchError(
+                "artifact fingerprint does not match the loaded graph "
+                f"(stored {str(metadata['graph_fingerprint'])[:12]}…, "
+                f"graph {fingerprint[:12]}…); the graph content changed "
+                "since the index was built — rebuild the index"
+            )
+        return cls(
+            compiled,
+            artifact.collection(),
+            model=str(metadata["model"]),
+            engine_seed=int(metadata["engine_seed"]),
+            block_size=int(metadata["block_size"]),
+            fingerprint=fingerprint,
+            memory_mapped=artifact.memory_mapped,
+            path=artifact.path,
+            numpy_version=str(metadata["numpy_version"]),
+        )
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, pathlib.Path],
+        graph: Union[DiGraph, CompiledGraph],
+        *,
+        mmap: bool = True,
+    ) -> "InfluenceIndex":
+        """Reopen a persisted index artifact for ``graph`` (mmap by default)."""
+        return cls.from_artifact(load_index_artifact(path, mmap=mmap), graph)
+
+    # ------------------------------------------------------------- persistence
+
+    @property
+    def theta(self) -> int:
+        """Number of stored RR sets."""
+        return self.collection.num_sets
+
+    @property
+    def metadata(self) -> Dict[str, object]:
+        """The provenance record persisted with the artifact."""
+        return build_metadata(
+            model=self.model,
+            engine_seed=self.engine_seed,
+            theta=self.theta,
+            block_size=self.block_size,
+            fingerprint=self.fingerprint,
+            n=self.graph.number_of_nodes,
+            m=self.graph.number_of_edges,
+            numpy_version=self.numpy_version,
+        )
+
+    def save(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Persist the index (CSR arrays + provenance) to ``path``."""
+        with self._lock:
+            saved = save_index_artifact(path, self.collection, self.metadata)
+            self.path = saved
+            return saved
+
+    # ------------------------------------------------------------------ growth
+
+    def grow(self, theta: int) -> "InfluenceIndex":
+        """Grow the stored collection to ``theta`` RR sets (no-op if smaller).
+
+        Equivalent, bit-for-bit, to having built the index at ``theta`` in
+        the first place — see the module docstring for why.  Invalidates the
+        selection cache; re-persist with :meth:`save` to keep the artifact
+        in sync.
+        """
+        if theta < 0:
+            raise ConfigurationError(f"theta must be non-negative, got {theta}")
+        with self._lock:
+            existing = self.collection.num_sets
+            if theta <= existing:
+                return self
+            if self.numpy_version != np.__version__:
+                raise ServingError(
+                    f"index was sampled under numpy {self.numpy_version} but "
+                    f"this process runs numpy {np.__version__}; Generator "
+                    "streams are not guaranteed stable across releases "
+                    "(NEP 19), so growing would silently break the "
+                    "grown == fresh guarantee — rebuild the index instead"
+                )
+            sampler = BatchRRSampler(self.graph, self.model)
+            rng = np.random.default_rng(self.engine_seed)
+            sampler.skip_tokens(rng, existing)
+            sampler.sample_into(rng, self.collection, theta, self.block_size)
+            self._selection_cache.clear()
+            # Consolidation copies the mapped arrays into memory, so the
+            # grown index is fully resident whatever its origin.
+            self.memory_mapped = False
+            return self
+
+    # ----------------------------------------------------------------- queries
+
+    def select(self, budget: int) -> IndexSelection:
+        """Warm seed selection: greedy max coverage over the stored sets."""
+        if budget < 0:
+            raise ConfigurationError(f"budget must be non-negative, got {budget}")
+        if budget > self.graph.number_of_nodes:
+            raise BudgetError(budget, self.graph.number_of_nodes)
+        with self._lock:
+            cached = self._selection_cache.get(budget)
+            if cached is not None:
+                return cached
+            covering, covered_fraction = greedy_max_coverage(
+                self.collection, budget
+            )
+            indices = pad_with_unselected(
+                self.graph.number_of_nodes, covering, budget
+            )
+            selection = IndexSelection(
+                seeds=self.graph.labels_for(indices),
+                budget=budget,
+                covered_fraction=covered_fraction,
+                estimated_spread=covered_fraction * self.graph.number_of_nodes,
+                theta=self.theta,
+            )
+            self._selection_cache[budget] = selection
+            return selection
+
+    def _indices_for(self, seeds: Sequence[Node]) -> List[int]:
+        try:
+            return self.graph.indices_for(seeds)
+        except KeyError as error:
+            raise ConfigurationError(
+                f"seed {error.args[0]!r} is not a node of the indexed graph"
+            )
+
+    def estimate_spread(self, seeds: Sequence[Node]) -> float:
+        """RIS spread estimate for ``seeds`` (given as graph labels).
+
+        This is the raw estimator (seeds count themselves); subtract
+        ``len(seeds)`` for the paper's Def. 3 objective, as
+        :func:`repro.core.evaluation.index_evaluate_seed_prefixes` does.
+        """
+        indices = self._indices_for(seeds)
+        with self._lock:
+            return self.collection.estimated_spread(indices)
+
+    def estimate_spreads(
+        self, seed_sets: Sequence[Sequence[Node]]
+    ) -> List[float]:
+        """Batched :meth:`estimate_spread` — one pass for many seed sets."""
+        return self._estimate_spreads_indices(
+            [self._indices_for(seeds) for seeds in seed_sets]
+        )
+
+    def _estimate_spreads_indices(
+        self, index_sets: Sequence[Sequence[int]]
+    ) -> List[float]:
+        """Batched oracle over compiled node indices, serialised vs growth.
+
+        The service's coalescing leader calls this so its reads hold the
+        same lock :meth:`grow` mutates the collection under.
+        """
+        with self._lock:
+            return [
+                float(v) for v in self.collection.estimated_spreads(index_sets)
+            ]
+
+    def spread_curve(self, seed_counts: Sequence[int]) -> Dict[int, float]:
+        """Spread estimates for the first ``k`` selected seeds, each ``k``.
+
+        The k-sweep behind "spread vs #seeds" figures, served warm: one
+        greedy cover at ``max(seed_counts)`` plus one batched oracle pass.
+        Values follow the raw RIS estimator (seeds included), matching
+        :meth:`estimate_spread`.
+        """
+        counts = [int(k) for k in seed_counts]
+        if any(k < 0 for k in counts):
+            raise ConfigurationError("seed counts must be non-negative")
+        if not counts:
+            return {}
+        top = self.select(max(counts))
+        prefixes = [top.seeds[:k] for k in counts]
+        spreads = self.estimate_spreads(prefixes)
+        return dict(zip(counts, spreads))
+
+    def __repr__(self) -> str:
+        origin = " mmap" if self.memory_mapped else ""
+        return (
+            f"<InfluenceIndex {self.model} theta={self.theta} over "
+            f"{self.graph.number_of_nodes} nodes{origin}>"
+        )

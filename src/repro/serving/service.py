@@ -1,0 +1,347 @@
+"""Concurrent query service over influence indexes.
+
+:class:`InfluenceService` is the process-level front-end the CLI's ``serve``
+command (and any embedding application) talks to.  It manages a bounded pool
+of loaded :class:`~repro.serving.index.InfluenceIndex` objects keyed by
+``(graph content fingerprint, model)`` and answers three request kinds:
+``select`` (warm greedy seed selection), ``evaluate`` (RIS spread estimate
+of a given seed set) and ``sweep`` (k-sweep spread curve).
+
+Two serving-specific mechanisms live here:
+
+* **LRU eviction** — at most ``capacity`` indexes stay resident; touching an
+  index moves it to the back of the queue and inserting beyond capacity
+  drops the front (its artifact, if persisted, can simply be reopened
+  later, which the memory-mapped loader makes cheap).
+* **Request coalescing** — concurrent ``evaluate`` calls against the same
+  index are drained by a single *leader* thread per index, which batches
+  every queued seed set into one
+  :meth:`~repro.sketches.collection.RRSetCollection.estimated_spreads`
+  pass (one traversal of the member array for R requests) and hands each
+  waiter its result.  ``stats()`` exposes the request/batch counters so the
+  batching factor is observable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.digraph import CompiledGraph, DiGraph, Node
+from repro.graphs.fingerprint import graph_fingerprint
+from repro.serving.index import DEFAULT_BLOCK_SIZE, IndexSelection, InfluenceIndex
+
+DEFAULT_THETA = 20_000
+
+ServiceKey = Tuple[str, str]
+
+
+@dataclass
+class _EvalRequest:
+    """One queued evaluate call, parked until a leader computes its batch."""
+
+    seeds: Tuple[int, ...]
+    done: bool = False
+    result: float = 0.0
+    error: Optional[BaseException] = None
+
+
+class InfluenceService:
+    """Thread-safe influence-query service with LRU index management.
+
+    **Pass a ``CompiledGraph`` on hot paths.**  Requests are keyed by the
+    graph's content fingerprint, which is cached on the immutable compiled
+    snapshot.  A mutable :class:`DiGraph` is accepted for convenience but is
+    recompiled and re-fingerprinted on *every* call — it cannot be cached
+    safely because graph annotations mutate shared ``EdgeData`` objects
+    without going through any ``DiGraph`` method — and on a 10k-node graph
+    that costs more than the warm query itself.  Compile once
+    (``graph.compile()``) and hand the snapshot to every request, as the
+    CLI ``serve`` command does.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident indexes; least-recently-used eviction
+        beyond that.
+    default_theta:
+        RR sets sampled when a request needs an index that was never built
+        or attached.
+    engine_seed / block_size:
+        Build parameters for on-demand indexes.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 8,
+        *,
+        default_theta: int = DEFAULT_THETA,
+        engine_seed: int = 0,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if default_theta < 1:
+            raise ConfigurationError(
+                f"default_theta must be >= 1, got {default_theta}"
+            )
+        self.capacity = capacity
+        self.default_theta = default_theta
+        self.engine_seed = engine_seed
+        self.block_size = block_size
+        self._lock = threading.RLock()
+        # Coalescing state shares the service lock through a condition so a
+        # retiring leader can wake parked followers to take over the queue.
+        self._eval_cond = threading.Condition(self._lock)
+        self._indexes: "OrderedDict[ServiceKey, InfluenceIndex]" = OrderedDict()
+        self._builds: Dict[ServiceKey, threading.Event] = {}
+        self._pending: Dict[ServiceKey, List[_EvalRequest]] = {}
+        self._leaders: Dict[ServiceKey, bool] = {}
+        self._stats = {
+            "index_builds": 0,
+            "index_hits": 0,
+            "index_evictions": 0,
+            "evaluate_requests": 0,
+            "evaluate_batches": 0,
+            "select_requests": 0,
+        }
+
+    # ------------------------------------------------------------- index pool
+
+    def _key(
+        self, graph: Union[DiGraph, CompiledGraph], model: str
+    ) -> Tuple[ServiceKey, CompiledGraph]:
+        compiled = graph.compile() if isinstance(graph, DiGraph) else graph
+        return (graph_fingerprint(compiled), model), compiled
+
+    def _touch(self, key: ServiceKey) -> Optional[InfluenceIndex]:
+        index = self._indexes.get(key)
+        if index is not None:
+            self._indexes.move_to_end(key)
+        return index
+
+    def _insert(self, key: ServiceKey, index: InfluenceIndex) -> None:
+        self._indexes[key] = index
+        self._indexes.move_to_end(key)
+        while len(self._indexes) > self.capacity:
+            self._indexes.popitem(last=False)
+            self._stats["index_evictions"] += 1
+
+    def attach(self, index: InfluenceIndex) -> ServiceKey:
+        """Register an existing index (e.g. loaded from an artifact)."""
+        key = (index.fingerprint, index.model)
+        with self._lock:
+            self._insert(key, index)
+        return key
+
+    def load_artifact(
+        self,
+        path: Union[str, pathlib.Path],
+        graph: Union[DiGraph, CompiledGraph],
+        *,
+        mmap: bool = True,
+    ) -> InfluenceIndex:
+        """Open a persisted artifact against ``graph`` and attach it."""
+        index = InfluenceIndex.load(path, graph, mmap=mmap)
+        self.attach(index)
+        return index
+
+    def get_index(
+        self,
+        graph: Union[DiGraph, CompiledGraph],
+        model: str,
+        *,
+        theta: Optional[int] = None,
+    ) -> InfluenceIndex:
+        """Return the resident index for ``(graph, model)``, building if needed.
+
+        Concurrent first requests for the same key build once: the first
+        caller becomes the builder, later callers park on an event and pick
+        up the finished index.  A ``theta`` larger than the resident index
+        grows it in place.
+        """
+        key, compiled = self._key(graph, model)
+        while True:
+            with self._lock:
+                index = self._touch(key)
+                if index is not None:
+                    self._stats["index_hits"] += 1
+                    break
+                build = self._builds.get(key)
+                if build is None:
+                    self._builds[key] = threading.Event()
+                    break
+            build.wait()
+        if index is None:
+            try:
+                index = InfluenceIndex.build(
+                    compiled,
+                    model,
+                    theta if theta is not None else self.default_theta,
+                    engine_seed=self.engine_seed,
+                    block_size=self.block_size,
+                )
+                with self._lock:
+                    self._insert(key, index)
+                    self._stats["index_builds"] += 1
+            finally:
+                with self._lock:
+                    event = self._builds.pop(key, None)
+                if event is not None:
+                    event.set()
+        if theta is not None and theta > index.theta:
+            index.grow(theta)
+        return index
+
+    # ---------------------------------------------------------------- queries
+
+    def select(
+        self,
+        graph: Union[DiGraph, CompiledGraph],
+        model: str,
+        budget: int,
+        *,
+        theta: Optional[int] = None,
+    ) -> IndexSelection:
+        """Warm seed selection through the resident index."""
+        index = self.get_index(graph, model, theta=theta)
+        with self._lock:
+            self._stats["select_requests"] += 1
+        return index.select(budget)
+
+    def sweep(
+        self,
+        graph: Union[DiGraph, CompiledGraph],
+        model: str,
+        seed_counts: Sequence[int],
+        *,
+        theta: Optional[int] = None,
+    ) -> Dict[int, float]:
+        """Warm k-sweep spread curve through the resident index."""
+        index = self.get_index(graph, model, theta=theta)
+        return index.spread_curve(seed_counts)
+
+    def evaluate(
+        self,
+        graph: Union[DiGraph, CompiledGraph],
+        model: str,
+        seeds: Sequence[Node],
+        *,
+        theta: Optional[int] = None,
+    ) -> float:
+        """RIS spread estimate of ``seeds``, coalescing concurrent callers.
+
+        The calling thread enqueues its request; if no leader is active for
+        the index it takes leadership and serves the queued batch in one
+        vectorized pass, otherwise it parks until a leader publishes its
+        result.  A leader retires as soon as its *own* request is answered
+        (bounded latency — no caller becomes a permanent batch executor);
+        if requests remain queued it wakes a parked follower, which takes
+        over leadership for the next batch.
+        """
+        index = self.get_index(graph, model, theta=theta)
+        key = (index.fingerprint, index.model)
+        request = _EvalRequest(tuple(index._indices_for(seeds)))
+        with self._eval_cond:
+            self._pending.setdefault(key, []).append(request)
+            self._stats["evaluate_requests"] += 1
+            while True:
+                if request.error is not None:
+                    raise request.error
+                if request.done:
+                    return request.result
+                if not self._leaders.get(key, False):
+                    self._leaders[key] = True
+                    break
+                self._eval_cond.wait()
+        try:
+            while True:
+                with self._eval_cond:
+                    if request.done or request.error is not None:
+                        self._retire_leader(key)
+                        break
+                    batch = self._pending.pop(key, [])
+                    if not batch:
+                        # Retirement happens in the same critical section
+                        # that observes the state — otherwise a request
+                        # enqueued in between would park behind an exiting
+                        # leader.
+                        self._retire_leader(key)
+                        break
+                    self._stats["evaluate_batches"] += 1
+                self._serve_batch(index, batch)
+                with self._eval_cond:
+                    self._eval_cond.notify_all()
+        except BaseException as error:
+            with self._eval_cond:
+                abandoned = self._pending.pop(key, [])
+                for parked in abandoned:
+                    parked.error = error
+                self._retire_leader(key)
+            raise
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    def _retire_leader(self, key: ServiceKey) -> None:
+        """Release leadership for ``key`` (callers hold ``_eval_cond``).
+
+        Entries are popped, not blanked, so a long-lived service does not
+        accumulate one dict slot per key ever served; parked followers are
+        woken so one of them can claim the queue if work remains.
+        """
+        self._leaders.pop(key, None)
+        if not self._pending.get(key):
+            self._pending.pop(key, None)
+        self._eval_cond.notify_all()
+
+    @staticmethod
+    def _serve_batch(index: InfluenceIndex, batch: List[_EvalRequest]) -> None:
+        try:
+            # Goes through the index so the read holds the lock grow()
+            # mutates the collection under — a concurrent theta-growth must
+            # never interleave with the batched oracle pass.
+            spreads = index._estimate_spreads_indices(
+                [request.seeds for request in batch]
+            )
+        except BaseException as error:  # propagate to every parked waiter
+            for request in batch:
+                request.error = error
+                request.done = True
+            return
+        for request, spread in zip(batch, spreads):
+            request.result = float(spread)
+            request.done = True
+
+    # -------------------------------------------------------------- telemetry
+
+    def stats(self) -> Dict[str, object]:
+        """A snapshot of the service counters and resident indexes."""
+        with self._lock:
+            resident = [
+                {
+                    "model": index.model,
+                    "theta": index.theta,
+                    "nodes": index.graph.number_of_nodes,
+                    "memory_mapped": index.memory_mapped,
+                    "fingerprint": key[0][:12],
+                }
+                for key, index in self._indexes.items()
+            ]
+            snapshot = dict(self._stats)
+        snapshot["resident_indexes"] = resident
+        snapshot["capacity"] = self.capacity
+        return snapshot
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._indexes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<InfluenceService {len(self)}/{self.capacity} indexes resident>"
+        )

@@ -11,11 +11,16 @@ first read.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+#: Member entries gathered per pass of the batched spread oracle; bounds the
+#: transient ``requests x chunk`` boolean matrix (a set larger than this
+#: still forms one chunk on its own).
+_SPREADS_CHUNK = 1 << 16
 
 
 class RRSetCollection:
@@ -36,7 +41,9 @@ class RRSetCollection:
         self._num_sets = 0
         self._members = _EMPTY
         self._indptr = np.zeros(1, dtype=np.int64)
-        self._set_ids = _EMPTY
+        self._set_ids: Optional[np.ndarray] = _EMPTY
+        self._node_indptr: Optional[np.ndarray] = None
+        self._node_sets: Optional[np.ndarray] = None
         self._dirty = False
 
     # ------------------------------------------------------------- building
@@ -53,6 +60,56 @@ class RRSetCollection:
         np.cumsum(sizes, out=indptr[1:])
         members = np.concatenate(arrays) if arrays else _EMPTY
         collection.append(members, indptr)
+        return collection
+
+    @classmethod
+    def from_csr(
+        cls,
+        n: int,
+        members: np.ndarray,
+        indptr: np.ndarray,
+        validate: bool = True,
+        node_indptr: Optional[np.ndarray] = None,
+        node_sets: Optional[np.ndarray] = None,
+    ) -> "RRSetCollection":
+        """Wrap existing CSR arrays without copying.
+
+        The arrays are adopted as-is — in particular they may be read-only
+        ``np.memmap`` views of a persisted index artifact, which is what
+        lets a 50k-set index open in milliseconds: nothing is touched until
+        the first query.  With ``validate`` (cheap: reads only the ``indptr``
+        boundary entries) malformed boundaries raise ``ValueError``.
+
+        ``node_indptr``/``node_sets`` optionally seed the inverted index
+        (see :meth:`inverted_index`) with a precomputed copy, e.g. the one
+        persisted in an artifact; both must be supplied together.
+        """
+        collection = cls(n)
+        if not isinstance(members, np.ndarray):
+            members = np.asarray(members, dtype=np.int64)
+        if not isinstance(indptr, np.ndarray):
+            indptr = np.asarray(indptr, dtype=np.int64)
+        if validate:
+            if indptr.ndim != 1 or indptr.size == 0:
+                raise ValueError("indptr must be a non-empty 1-d array")
+            if int(indptr[0]) != 0 or int(indptr[-1]) != members.size:
+                raise ValueError("indptr must start at 0 and end at members.size")
+            if np.any(np.diff(indptr) < 0):
+                raise ValueError("indptr must be non-decreasing")
+        collection._members = members
+        collection._indptr = indptr
+        collection._num_sets = indptr.size - 1
+        collection._set_ids = None  # computed lazily on first coverage query
+        collection._dirty = False
+        if node_indptr is not None and node_sets is not None:
+            if node_indptr.size != n + 1 or node_sets.size != members.size or (
+                members.size and int(node_indptr[-1]) != members.size
+            ):
+                raise ValueError(
+                    "inverted index shape disagrees with the CSR arrays"
+                )
+            collection._node_indptr = node_indptr
+            collection._node_sets = node_sets
         return collection
 
     def append(self, members: np.ndarray, indptr: np.ndarray) -> None:
@@ -92,8 +149,11 @@ class RRSetCollection:
 
     @property
     def set_ids(self) -> np.ndarray:
-        """Set index of every entry of :attr:`members`."""
+        """Set index of every entry of :attr:`members` (computed lazily)."""
         self._consolidate()
+        if self._set_ids is None:
+            sizes = np.diff(self._indptr)
+            self._set_ids = np.repeat(np.arange(sizes.size, dtype=np.int64), sizes)
         return self._set_ids
 
     def _consolidate(self) -> None:
@@ -107,12 +167,33 @@ class RRSetCollection:
         self._members = np.concatenate(members) if members else _EMPTY
         self._indptr = np.zeros(sizes.size + 1, dtype=np.int64)
         np.cumsum(sizes, out=self._indptr[1:])
-        self._set_ids = np.repeat(
-            np.arange(sizes.size, dtype=np.int64), sizes
-        )
+        self._set_ids = None
+        self._node_indptr = None
+        self._node_sets = None
         self._member_blocks = []
         self._size_blocks = []
         self._dirty = False
+
+    def inverted_index(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The sets containing each node, as a CSR keyed by node.
+
+        Returns ``(node_indptr, node_sets)``: node ``v`` appears in sets
+        ``node_sets[node_indptr[v]:node_indptr[v + 1]]``.  This is the
+        access structure greedy max coverage walks; building it costs one
+        stable argsort of ``members``, so it is cached here and persisted
+        inside index artifacts (where a warm ``select(k)`` would otherwise
+        pay the argsort on every reopen).  Deterministic given the CSR:
+        within a node, set ids appear in ascending order.
+        """
+        self._consolidate()
+        if self._node_indptr is None or self._node_sets is None:
+            counts = np.bincount(self._members, minlength=self.n)
+            node_indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(counts, out=node_indptr[1:])
+            order = np.argsort(self._members, kind="stable")
+            self._node_sets = self.set_ids[order]
+            self._node_indptr = node_indptr
+        return self._node_indptr, self._node_sets
 
     def set_members(self, index: int) -> np.ndarray:
         """Members of set ``index`` in discovery order."""
@@ -158,6 +239,82 @@ class RRSetCollection:
         :class:`~repro.diffusion.simulation.MonteCarloEngine` estimates.
         """
         return self.covered_fraction(seeds) * self.n
+
+    def estimated_spreads(self, seed_sets: Sequence[Sequence[int]]) -> np.ndarray:
+        """Sketch spread estimates for several seed sets in one pass.
+
+        Semantically ``[estimated_spread(s) for s in seed_sets]``, but the
+        member array is walked once for the whole batch: every request's
+        seed mask is gathered against ``members`` simultaneously and reduced
+        per set.  This is the kernel behind the serving layer's request
+        coalescing — R concurrent evaluate calls cost one traversal, not R.
+        """
+        requests = [np.asarray(list(s), dtype=np.int64) for s in seed_sets]
+        count = len(requests)
+        if count == 0:
+            return np.zeros(0, dtype=np.float64)
+        if self.num_sets == 0 or self.n == 0:
+            return np.zeros(count, dtype=np.float64)
+        members, indptr = self.members, self.indptr
+        seed_mask = np.zeros((count, self.n), dtype=bool)
+        for row, seeds in enumerate(requests):
+            seed_mask[row, seeds] = True
+        if members.size == 0:
+            return np.zeros(count, dtype=np.float64)
+        # The member array is walked in set-aligned chunks so the transient
+        # ``requests x chunk`` gather matrix stays bounded regardless of how
+        # many requests a coalesced batch carries.  Within a chunk, reduceat
+        # runs over the non-empty sets only: their starts are strictly
+        # increasing, always valid, and consecutive starts delimit exactly
+        # one set's members (reduceat misbehaves on empty segments — it
+        # returns the element *at* the boundary, and errors when the
+        # boundary equals the slice size; empty sets are never covered, so
+        # they simply don't enter the count).
+        covered_counts = np.zeros(count, dtype=np.int64)
+        set_start = 0
+        while set_start < self.num_sets:
+            limit = indptr[set_start] + _SPREADS_CHUNK
+            set_end = int(np.searchsorted(indptr, limit, side="right")) - 1
+            set_end = min(max(set_end, set_start + 1), self.num_sets)
+            lo, hi = indptr[set_start], indptr[set_end]
+            sizes = np.diff(indptr[set_start:set_end + 1])
+            nonempty = np.flatnonzero(sizes > 0)
+            if hi > lo and nonempty.size:
+                hits = seed_mask[:, members[lo:hi]]
+                starts = indptr[set_start:set_end][nonempty] - lo
+                covered = np.logical_or.reduceat(hits, starts, axis=1)
+                covered_counts += covered.sum(axis=1)
+            set_start = set_end
+        return covered_counts / self.num_sets * self.n
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes held by the CSR arrays (pending blocks included)."""
+        total = self._members.nbytes + self._indptr.nbytes
+        if self._set_ids is not None:
+            total += self._set_ids.nbytes
+        if self._node_indptr is not None:
+            total += self._node_indptr.nbytes
+        if self._node_sets is not None:
+            total += self._node_sets.nbytes
+        total += sum(block.nbytes for block in self._member_blocks)
+        total += sum(block.nbytes for block in self._size_blocks)
+        return int(total)
+
+    def __eq__(self, other: object) -> bool:
+        """Content equality: same ``n`` and bit-identical CSR arrays.
+
+        Used by the persistence tests to assert that a saved-and-reloaded
+        (or incrementally grown) index equals a freshly built one.
+        """
+        if not isinstance(other, RRSetCollection):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.num_sets == other.num_sets
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.members, other.members)
+        )
 
     def __repr__(self) -> str:
         return (

@@ -45,11 +45,10 @@ def greedy_max_coverage(
     indptr = collection.indptr
 
     # Inverted index: the sets containing each node, as a CSR keyed by node.
-    gain = np.bincount(members, minlength=n)
-    node_indptr = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(gain, out=node_indptr[1:])
-    order = np.argsort(members, kind="stable")
-    node_sets = collection.set_ids[order]
+    # Cached on the collection (and persisted inside index artifacts), so a
+    # warm select over a reopened artifact skips the argsort entirely.
+    node_indptr, node_sets = collection.inverted_index()
+    gain = np.diff(node_indptr).astype(np.int64, copy=False)
 
     covered = np.zeros(num_sets, dtype=bool)
     covered_count = 0
@@ -57,7 +56,7 @@ def greedy_max_coverage(
     selected_mask = np.zeros(n, dtype=bool)
 
     candidates = np.flatnonzero(gain)
-    heap = [(-int(gain[v]), int(v)) for v in candidates]
+    heap = list(zip((-gain[candidates]).tolist(), candidates.tolist()))
     heapq.heapify(heap)
 
     while len(selected) < budget and heap:

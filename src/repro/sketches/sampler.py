@@ -224,6 +224,28 @@ class BatchRRSampler:
 
     # ------------------------------------------------------------- sampling
 
+    @staticmethod
+    def draw_tokens(rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` per-set tokens from the engine generator.
+
+        This is the *only* consumption the sampler makes of ``rng`` — one
+        63-bit token per RR set — and the serving layer's deterministic
+        growth replays it (:meth:`skip_tokens`), so every token draw must go
+        through here: changing the bounds, dtype or fill semantics anywhere
+        else would silently desynchronize grown indexes from fresh builds.
+        """
+        return rng.integers(0, np.iinfo(np.int64).max, size=count, dtype=np.int64)
+
+    @classmethod
+    def skip_tokens(cls, rng: np.random.Generator, count: int) -> None:
+        """Advance ``rng`` past ``count`` RR-set tokens without sampling.
+
+        Split-invariance of bounded ``integers`` fills makes one draw of
+        ``count`` equal to the per-block draws an original build issued.
+        """
+        if count > 0:
+            cls.draw_tokens(rng, count)
+
     def sample(
         self, rng: np.random.Generator, count: int
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -239,7 +261,7 @@ class BatchRRSampler:
             raise ValueError(f"count must be non-negative, got {count}")
         if count == 0 or self.n == 0:
             return _EMPTY.copy(), np.zeros(count + 1, dtype=np.int64), _EMPTY.copy()
-        tokens = rng.integers(0, np.iinfo(np.int64).max, size=count, dtype=np.int64)
+        tokens = self.draw_tokens(rng, count)
         roots = (tokens % self.n).astype(np.int64)
         streams = _mix64(tokens.astype(np.uint64))
         if self.model == "lt":
@@ -271,9 +293,7 @@ class BatchRRSampler:
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Draw one RR set per entry of ``roots`` (mainly for tests)."""
         roots = np.asarray(roots, dtype=np.int64)
-        tokens = rng.integers(
-            0, np.iinfo(np.int64).max, size=roots.size, dtype=np.int64
-        )
+        tokens = self.draw_tokens(rng, roots.size)
         streams = _mix64(tokens.astype(np.uint64))
         if self.model == "lt":
             return self._sample_lt_block(roots, streams)
