@@ -69,6 +69,7 @@ from repro.core import (
     evaluate_seed_prefixes,
 )
 from repro.serving import InfluenceIndex, InfluenceService
+from repro.scoring import ScoreEngine
 
 __version__ = "1.0.0"
 
@@ -121,4 +122,6 @@ __all__ = [
     # serving
     "InfluenceIndex",
     "InfluenceService",
+    # scoring
+    "ScoreEngine",
 ]

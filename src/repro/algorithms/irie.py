@@ -50,6 +50,8 @@ class IRIESelector(SeedSelector):
 
     def _select(self, graph: CompiledGraph, budget: int) -> tuple[list[int], dict]:
         n = graph.number_of_nodes
+        # Both arrays are graph-static caches on the CompiledGraph, shared
+        # with the EaSyIM/OSIM score engine (no per-selection np.repeat).
         probabilities = resolve_edge_probabilities(graph, self.weighting)
         sources = edge_sources(graph)
         targets = graph.out_indices

@@ -55,7 +55,6 @@ def osim_scores(
     if active is None:
         active = np.zeros(n, dtype=bool)
     probabilities = resolve_edge_probabilities(graph, weighting)
-    interactions = graph.out_interaction
     sources = edge_sources(graph)
     targets = graph.out_indices
     edge_mask = (~active[targets]).astype(np.float64)
@@ -63,7 +62,7 @@ def osim_scores(
 
     # psi = (2*phi - 1) / 2 — the expected signed retention of the upstream
     # opinion across one interaction (agreement contributes +o, disagreement -o).
-    psi = (2.0 * interactions - 1.0) / 2.0
+    psi = graph.out_psi
 
     alpha_prev = np.ones(n, dtype=np.float64)
     or_prev = opinions.astype(np.float64).copy()
@@ -88,7 +87,14 @@ def osim_scores(
 
 
 class OSIMSelector(ScoreGreedySelector):
-    """ScoreGREEDY with OSIM score assignment — the paper's MEO heuristic."""
+    """ScoreGREEDY with OSIM score assignment — the paper's MEO heuristic.
+
+    By default selection runs on the incremental
+    :class:`~repro.scoring.engine.ScoreEngine` (which also fuses OSIM's three
+    per-hop scatters into one stacked pass); pass ``incremental=False`` for
+    the historical full-recompute driver (identical seed sets, asserted by
+    the test suite).
+    """
 
     name = "osim"
     opinion_aware = True
@@ -101,7 +107,11 @@ class OSIMSelector(ScoreGreedySelector):
         update_strategy: str = "single",
         update_simulations: int = 10,
         seed: RandomState = None,
+        incremental: bool = True,
+        fallback_fraction: Optional[float] = None,
     ) -> None:
+        from repro.scoring import DEFAULT_FALLBACK_FRACTION, ScoreEngine
+
         model_name = model if isinstance(model, str) else model.name
         if weighting is None:
             weighting = "lt" if model_name.endswith("lt") else (
@@ -109,6 +119,10 @@ class OSIMSelector(ScoreGreedySelector):
             )
         self.max_path_length = max_path_length
         self.weighting = weighting
+        self.incremental = incremental
+        self.fallback_fraction = (
+            DEFAULT_FALLBACK_FRACTION if fallback_fraction is None else fallback_fraction
+        )
 
         def score(graph: CompiledGraph, active: np.ndarray) -> np.ndarray:
             return osim_scores(
@@ -118,16 +132,26 @@ class OSIMSelector(ScoreGreedySelector):
                 weighting=self.weighting,
             )
 
+        def engine_factory(graph: CompiledGraph) -> ScoreEngine:
+            return ScoreEngine(
+                graph,
+                algorithm="osim",
+                max_path_length=self.max_path_length,
+                weighting=self.weighting,
+                fallback_fraction=self.fallback_fraction,
+            )
+
         super().__init__(
             score_function=score,
             model=model,
             update_strategy=update_strategy,
             update_simulations=update_simulations,
             seed=seed,
+            engine_factory=engine_factory if incremental else None,
         )
 
     def __repr__(self) -> str:
         return (
             f"OSIMSelector(max_path_length={self.max_path_length}, "
-            f"weighting={self.weighting!r})"
+            f"weighting={self.weighting!r}, incremental={self.incremental})"
         )

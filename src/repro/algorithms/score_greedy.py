@@ -15,11 +15,22 @@ provided:
 * ``"majority"`` — nodes activated in more than half of ``update_simulations``
   cascades, a lower-variance alternative;
 * ``"none"`` — only the seed itself is marked active (pure score ranking).
+
+Two selection paths share the driver:
+
+* the historical **full-recompute** path calls ``score_function`` on the
+  whole graph every iteration (still used for custom score functions such as
+  Path-Union, and as the reference the incremental path is tested against);
+* the **incremental** path maintains a
+  :class:`~repro.scoring.engine.ScoreEngine` whose ``mark_active`` repairs
+  scores only inside the l-hop reverse ball of the newly activated nodes,
+  with the running argmax repaired lazily instead of recomputed.  Both paths
+  draw the same RNG stream and select bit-for-bit identical seed sets.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -33,21 +44,26 @@ from repro.utils.rng import RandomState, ensure_rng
 #: Signature of a score-assignment routine: (graph, active_mask) -> scores.
 ScoreFunction = Callable[[CompiledGraph, np.ndarray], np.ndarray]
 
+#: Signature of an engine factory: graph -> ScoreEngine (see repro.scoring).
+EngineFactory = Callable[[CompiledGraph], "object"]
+
 _UPDATE_STRATEGIES = ("single", "majority", "none")
 
 
 class ScoreGreedySelector(SeedSelector):
-    """Generic ScoreGREEDY driver parameterised by a score-assignment function."""
+    """Generic ScoreGREEDY driver parameterised by a score-assignment function
+    and, optionally, an incremental score-engine factory."""
 
     name = "score-greedy"
 
     def __init__(
         self,
-        score_function: ScoreFunction,
+        score_function: Optional[ScoreFunction] = None,
         model: Union[str, DiffusionModel] = "ic",
         update_strategy: str = "single",
         update_simulations: int = 10,
         seed: RandomState = None,
+        engine_factory: Optional[EngineFactory] = None,
     ) -> None:
         if update_strategy not in _UPDATE_STRATEGIES:
             raise ConfigurationError(
@@ -58,7 +74,13 @@ class ScoreGreedySelector(SeedSelector):
             raise ConfigurationError(
                 f"update_simulations must be >= 1, got {update_simulations}"
             )
+        if score_function is None and engine_factory is None:
+            raise ConfigurationError(
+                "ScoreGreedySelector needs a score_function, an "
+                "engine_factory, or both"
+            )
         self.score_function = score_function
+        self.engine_factory = engine_factory
         self.model = get_model(model) if isinstance(model, str) else model
         self.update_strategy = update_strategy
         self.update_simulations = update_simulations
@@ -67,6 +89,12 @@ class ScoreGreedySelector(SeedSelector):
     # ------------------------------------------------------------ selection
 
     def _select(self, graph: CompiledGraph, budget: int) -> tuple[list[int], dict]:
+        if self.engine_factory is not None:
+            return self._select_incremental(graph, budget)
+        return self._select_full(graph, budget)
+
+    def _select_full(self, graph: CompiledGraph, budget: int) -> tuple[list[int], dict]:
+        """Historical path: full score recompute every iteration."""
         n = graph.number_of_nodes
         active = np.zeros(n, dtype=bool)
         selected: list[int] = []
@@ -76,41 +104,79 @@ class ScoreGreedySelector(SeedSelector):
             scores = np.where(active, -np.inf, scores)
             best = int(np.argmax(scores))
             if not np.isfinite(scores[best]):
-                # Every remaining node is already activated; fall back to any
-                # inactive node, or to an arbitrary unselected one.
-                remaining = np.flatnonzero(~active)
-                if remaining.size == 0:
-                    remaining = np.array(
-                        [i for i in range(n) if i not in selected], dtype=np.int64
-                    )
-                if remaining.size == 0:
-                    # Only reachable when _select is driven directly with a
-                    # budget exceeding the node count (select() validates).
-                    raise BudgetError(budget, n)
-                best = int(remaining[0])
+                best = self._fallback_candidate(n, active, selected, budget)
+                final_scores[best] = 0.0
+            else:
+                final_scores[best] = float(scores[best])
             selected.append(best)
-            final_scores[best] = float(scores[best]) if np.isfinite(scores[best]) else 0.0
-            self._mark_activated(graph, best, active)
-        return selected, {"scores": final_scores, "update_strategy": self.update_strategy}
+            active[self._activation_update(graph, best)] = True
+        return selected, {
+            "scores": final_scores,
+            "update_strategy": self.update_strategy,
+        }
+
+    def _select_incremental(
+        self, graph: CompiledGraph, budget: int
+    ) -> tuple[list[int], dict]:
+        """Engine path: scores repaired in place, argmax repaired lazily."""
+        n = graph.number_of_nodes
+        engine = self.engine_factory(graph)
+        selected: list[int] = []
+        final_scores: dict[int, float] = {}
+        for _ in range(budget):
+            best = engine.best_inactive()
+            if best is None:
+                # Every node is already activated (the heap only empties when
+                # no inactive node remains) — same fallback as the full path.
+                best = self._fallback_candidate(n, engine.active, selected, budget)
+                final_scores[best] = 0.0
+            else:
+                final_scores[best] = engine.score_of(best)
+            selected.append(best)
+            engine.mark_active(self._activation_update(graph, best))
+        return selected, {
+            "scores": final_scores,
+            "update_strategy": self.update_strategy,
+            "engine": dict(engine.stats),
+        }
+
+    @staticmethod
+    def _fallback_candidate(
+        n: int, active: np.ndarray, selected: list[int], budget: int
+    ) -> int:
+        """Any inactive node, or an arbitrary unselected one."""
+        remaining = np.flatnonzero(~active)
+        if remaining.size == 0:
+            remaining = np.array(
+                [i for i in range(n) if i not in selected], dtype=np.int64
+            )
+        if remaining.size == 0:
+            # Only reachable when _select is driven directly with a
+            # budget exceeding the node count (select() validates).
+            raise BudgetError(budget, n)
+        return int(remaining[0])
 
     # ------------------------------------------------------------- updates
 
-    def _mark_activated(self, graph: CompiledGraph, seed: int, active: np.ndarray) -> None:
-        """Update ``active`` in place with the nodes activated by ``seed``.
+    def _activation_update(self, graph: CompiledGraph, seed: int) -> np.ndarray:
+        """Node indices activated by the freshly selected ``seed``.
 
-        Both strategies run through :meth:`DiffusionModel.simulate_batch`, so
-        the re-estimation cascades are advanced by the vectorized kernels and
-        the per-cascade activation masks combine with plain matrix reductions.
+        Independent of the currently active set (the caller unions).  Both
+        simulation strategies run through :meth:`DiffusionModel.simulate_batch`,
+        so the re-estimation cascades are advanced by the vectorized kernels
+        and the per-cascade activation masks combine with plain matrix
+        reductions.
         """
-        active[seed] = True
         if self.update_strategy == "none":
-            return
+            return np.array([seed], dtype=np.int64)
         if self.update_strategy == "single":
             outcome = self.model.simulate_batch(graph, [seed], self._rng, 1)
-            active |= outcome.active[0]
-            return
-        outcome = self.model.simulate_batch(
-            graph, [seed], self._rng, self.update_simulations
-        )
-        counts = outcome.active.sum(axis=0)
-        active[counts > self.update_simulations / 2] = True
+            mask = outcome.active[0].copy()
+        else:
+            outcome = self.model.simulate_batch(
+                graph, [seed], self._rng, self.update_simulations
+            )
+            counts = outcome.active.sum(axis=0)
+            mask = counts > self.update_simulations / 2
+        mask[seed] = True
+        return np.flatnonzero(mask)

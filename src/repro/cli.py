@@ -71,6 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     select_parser.add_argument("--penalty", type=float, default=1.0)
     select_parser.add_argument(
+        "--full-recompute", action="store_true",
+        help="disable the incremental score engine for easyim/osim and "
+        "re-run the full score pass every iteration (identical seed sets)",
+    )
+    select_parser.add_argument(
+        "--fallback-fraction", type=float, default=None,
+        help="incremental edge-work budget per update as a fraction of the "
+        "full l*m score pass before the engine falls back to a rebuild",
+    )
+    select_parser.add_argument(
+        "--selection-seed", type=int, default=None,
+        help="seed the selector's own RNG (cascade re-estimation draws) so "
+        "repeated runs pick identical seed sets; distinct from the "
+        "graph-generation --seed",
+    )
+    select_parser.add_argument(
         "--annotate", action="store_true",
         help="annotate opinions (uniform) and interactions (uniform) before selection",
     )
@@ -224,9 +240,17 @@ def _command_select(args: argparse.Namespace) -> int:
     if args.algorithm in ("easyim", "osim", "path-union"):
         options["max_path_length"] = args.max_path_length
         options["model"] = args.model
+        if args.selection_seed is not None:
+            options["seed"] = args.selection_seed
+        if args.algorithm in ("easyim", "osim"):
+            options["incremental"] = not args.full_recompute
+            if args.fallback_fraction is not None:
+                options["fallback_fraction"] = args.fallback_fraction
     elif args.algorithm in ("greedy", "celf", "celf++", "modified-greedy"):
         options["model"] = args.model
         options["simulations"] = max(50, args.simulations // 5)
+        if args.selection_seed is not None:
+            options["seed"] = args.selection_seed
     elif args.algorithm in ("tim+", "imm"):
         if args.model not in RIS_MODELS:
             raise ConfigurationError(
@@ -236,6 +260,11 @@ def _command_select(args: argparse.Namespace) -> int:
             )
         options["model"] = args.model
         options["max_rr_sets"] = args.max_rr_sets
+        if args.selection_seed is not None:
+            options["seed"] = args.selection_seed
+    elif args.algorithm == "random":
+        if args.selection_seed is not None:
+            options["seed"] = args.selection_seed
     selector = get_algorithm(args.algorithm, **options)
     selection = selector.select(graph, args.budget)
     engine = MonteCarloEngine(

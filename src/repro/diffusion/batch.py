@@ -56,8 +56,12 @@ def _in_degree_reciprocal(graph: CompiledGraph) -> np.ndarray:
 
 
 def wc_out_probabilities(graph: CompiledGraph) -> np.ndarray:
-    """Edge-aligned weighted-cascade probabilities ``1 / in_degree(target)``."""
-    return _in_degree_reciprocal(graph)[graph.out_indices]
+    """Edge-aligned weighted-cascade probabilities ``1 / in_degree(target)``.
+
+    Served from the per-graph cache, so repeated simulate calls (k per
+    greedy-family selection) stop re-deriving the same m-sized array.
+    """
+    return graph.resolved_edge_probabilities("wc")
 
 
 def resolve_out_lt_weights(graph: CompiledGraph) -> np.ndarray:

@@ -92,15 +92,16 @@ class LinearThresholdModel(DiffusionModel):
             touched: set[int] = set()
             while frontier:
                 node = frontier.popleft()
-                for target in graph.out_neighbors(node):
-                    target = int(target)
+                # The weight of edge (node -> target) lives in the in-CSR of
+                # target; the cached out->in position map replaces the
+                # per-edge in-neighbour scan (O(deg^2) on hubs).
+                start, end = graph.out_indptr[node], graph.out_indptr[node + 1]
+                in_positions = graph.out_to_in_position[start:end]
+                for offset in range(end - start):
+                    target = int(graph.out_indices[start + offset])
                     if active[target]:
                         continue
-                    # Find the weight of edge (node -> target) in the in-CSR of target.
-                    start, end = graph.in_indptr[target], graph.in_indptr[target + 1]
-                    in_neighbors = graph.in_indices[start:end]
-                    position = start + int(np.nonzero(in_neighbors == node)[0][0])
-                    accumulated[target] += weights[position]
+                    accumulated[target] += weights[in_positions[offset]]
                     touched.add(target)
             for target in touched:
                 if not active[target] and accumulated[target] >= thresholds[target]:

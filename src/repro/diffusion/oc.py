@@ -75,14 +75,15 @@ class OCModel(DiffusionModel):
             touched: set[int] = set()
             while frontier:
                 node = frontier.popleft()
-                for target in graph.out_neighbors(node):
-                    target = int(target)
+                # In-CSR-aligned LT weights looked up through the cached
+                # out->in edge position map (no per-edge in-neighbour scan).
+                start, end = graph.out_indptr[node], graph.out_indptr[node + 1]
+                in_positions = graph.out_to_in_position[start:end]
+                for offset in range(end - start):
+                    target = int(graph.out_indices[start + offset])
                     if active[target]:
                         continue
-                    start, end = graph.in_indptr[target], graph.in_indptr[target + 1]
-                    in_neighbors = graph.in_indices[start:end]
-                    position = start + int(np.nonzero(in_neighbors == node)[0][0])
-                    accumulated[target] += weights[position]
+                    accumulated[target] += weights[in_positions[offset]]
                     touched.add(target)
             # Strict synchronous rounds: decide every activation of the round
             # first, then compute opinions against the *pre-round* active set,

@@ -85,13 +85,17 @@ class OpinionInteractionModel(DiffusionModel):
 
     # --------------------------------------------------------- IC first layer
 
-    def _activation_probabilities(self, graph: CompiledGraph, node: int) -> np.ndarray:
+    def _edge_activation_probabilities(self, graph: CompiledGraph) -> np.ndarray:
+        """Per-out-edge activation probabilities for the scalar IC layer.
+
+        The WC reciprocal in-degree array used to be recomputed for every
+        frontier node of every cascade; it is an edge-aligned constant of
+        the graph, served from the :class:`CompiledGraph` cache (the values
+        are identical to the batch kernel's :func:`wc_out_probabilities`).
+        """
         if self.first_layer == "wc":
-            in_degrees = np.diff(graph.in_indptr).astype(np.float64)
-            safe = np.where(in_degrees > 0, in_degrees, 1.0)
-            neighbors = graph.out_neighbors(node)
-            return 1.0 / safe[neighbors]
-        return graph.out_probabilities(node)
+            return graph.resolved_edge_probabilities("wc")
+        return graph.out_probability
 
     def _simulate_ic(
         self,
@@ -102,6 +106,7 @@ class OpinionInteractionModel(DiffusionModel):
         seeds = validate_seed_indices(graph, seeds)
         outcome = DiffusionOutcome(seeds=seeds)
         n = graph.number_of_nodes
+        edge_probability = self._edge_activation_probabilities(graph)
         active = np.zeros(n, dtype=bool)
         final_opinion = np.zeros(n, dtype=np.float64)
 
@@ -122,7 +127,8 @@ class OpinionInteractionModel(DiffusionModel):
                 neighbors = graph.out_neighbors(node)
                 if neighbors.size == 0:
                     continue
-                probabilities = self._activation_probabilities(graph, node)
+                start = graph.out_indptr[node]
+                probabilities = edge_probability[start:start + neighbors.size]
                 interactions = graph.out_interactions(node)
                 draws = rng.random(neighbors.size)
                 successes = np.flatnonzero(draws < probabilities)
@@ -176,14 +182,17 @@ class OpinionInteractionModel(DiffusionModel):
             touched: set[int] = set()
             while frontier:
                 node = frontier.popleft()
-                for target in graph.out_neighbors(node):
-                    target = int(target)
+                # The LT weights are aligned with the in-CSR; translate each
+                # traversed out-edge via the graph's cached position map
+                # instead of linearly scanning the target's in-neighbour list
+                # (which made hub rounds O(deg^2)).
+                start, end = graph.out_indptr[node], graph.out_indptr[node + 1]
+                in_positions = graph.out_to_in_position[start:end]
+                for offset in range(end - start):
+                    target = int(graph.out_indices[start + offset])
                     if active[target]:
                         continue
-                    start, end = graph.in_indptr[target], graph.in_indptr[target + 1]
-                    in_neighbors = graph.in_indices[start:end]
-                    position = start + int(np.nonzero(in_neighbors == node)[0][0])
-                    accumulated[target] += weights[position]
+                    accumulated[target] += weights[in_positions[offset]]
                     touched.add(target)
             # Strict synchronous rounds: decide the round's activations first,
             # then average contributions against the *pre-round* active set,

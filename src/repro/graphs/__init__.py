@@ -16,6 +16,7 @@ from repro.graphs.generators import (
     path_graph,
     powerlaw_cluster_graph,
     random_dag,
+    random_kout_graph,
     random_tree,
     star_graph,
     stochastic_block_graph,
@@ -46,6 +47,7 @@ __all__ = [
     "path_graph",
     "powerlaw_cluster_graph",
     "random_dag",
+    "random_kout_graph",
     "random_tree",
     "star_graph",
     "stochastic_block_graph",

@@ -395,6 +395,10 @@ class CompiledGraph:
         "opinions",
         "thresholds",
         "_fingerprint",
+        "_edge_sources",
+        "_resolved_probabilities",
+        "_out_psi",
+        "_out_to_in_position",
     )
 
     def __init__(
@@ -431,6 +435,12 @@ class CompiledGraph:
         # Content-fingerprint cache; compiled graphs are immutable, so the
         # digest is computed at most once (see repro.graphs.fingerprint).
         self._fingerprint: Optional[str] = None
+        # Graph-static derived arrays, each materialised at most once (the
+        # score engines and scalar diffusion models share them).
+        self._edge_sources: Optional[np.ndarray] = None
+        self._resolved_probabilities: Dict[str, np.ndarray] = {}
+        self._out_psi: Optional[np.ndarray] = None
+        self._out_to_in_position: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------ factory
 
@@ -540,6 +550,89 @@ class CompiledGraph:
 
     def in_degree(self, node: int) -> int:
         return int(self.in_indptr[node + 1] - self.in_indptr[node])
+
+    # ------------------------------------------------- cached derived arrays
+    #
+    # CompiledGraph is immutable, so each of these is computed at most once
+    # per graph and shared by every consumer (score engines, IRIE, the scalar
+    # diffusion models).  They are deliberately *lazy*: compiling a graph pays
+    # nothing until an algorithm actually needs the array.
+
+    @property
+    def edge_sources(self) -> np.ndarray:
+        """Source node index of every out-edge, aligned with ``out_indices``."""
+        if self._edge_sources is None:
+            self._edge_sources = np.repeat(
+                np.arange(self.number_of_nodes, dtype=np.int64),
+                np.diff(self.out_indptr),
+            )
+        return self._edge_sources
+
+    def resolved_edge_probabilities(self, weighting: str) -> np.ndarray:
+        """Per-out-edge walk probabilities for a model weighting (cached).
+
+        * ``"ic"`` — the annotated influence probabilities ``p``.
+        * ``"wc"`` — ``1 / in_degree(target)``.
+        * ``"lt"`` — the annotated LT weights when present, else
+          ``1 / in_degree`` (the live-edge probabilities, Sec. 3.3).
+        """
+        from repro.exceptions import ConfigurationError
+
+        cached = self._resolved_probabilities.get(weighting)
+        if cached is not None:
+            return cached
+        if weighting == "ic":
+            resolved = self.out_probability
+        elif weighting == "lt" and np.any(self.out_weight > 0):
+            resolved = self.out_weight
+        elif weighting in ("wc", "lt"):
+            in_degrees = np.diff(self.in_indptr).astype(np.float64)
+            safe = np.where(in_degrees > 0, in_degrees, 1.0)
+            resolved = 1.0 / safe[self.out_indices]
+        else:
+            raise ConfigurationError(
+                f"weighting must be one of ('ic', 'wc', 'lt'), got {weighting!r}"
+            )
+        self._resolved_probabilities[weighting] = resolved
+        return resolved
+
+    @property
+    def out_psi(self) -> np.ndarray:
+        """OSIM's ``psi = (2 phi - 1) / 2`` per out-edge (cached).
+
+        The expected signed retention of the upstream opinion across one
+        interaction: agreement contributes ``+o``, disagreement ``-o``.
+        """
+        if self._out_psi is None:
+            self._out_psi = (2.0 * self.out_interaction - 1.0) / 2.0
+        return self._out_psi
+
+    @property
+    def out_to_in_position(self) -> np.ndarray:
+        """Map each out-CSR edge position to the same edge's in-CSR position.
+
+        Fast path: :meth:`from_digraph` fills both CSRs in one edge pass, so
+        within a target's in-slice the edges appear in ascending out-position
+        order and a single stable argsort of the out targets reproduces the
+        in-CSR layout.  The result is verified with one gather (sources must
+        line up); CSR layouts built elsewhere that violate the invariant fall
+        back to two lexsorts on the unique (target, source) edge keys.
+        """
+        if self._out_to_in_position is None:
+            order = np.argsort(self.out_indices, kind="stable")
+            mapping = np.empty(order.size, dtype=np.int64)
+            mapping[order] = np.arange(order.size, dtype=np.int64)
+            if not np.array_equal(self.in_indices[mapping], self.edge_sources):
+                in_targets = np.repeat(
+                    np.arange(self.number_of_nodes, dtype=np.int64),
+                    np.diff(self.in_indptr),
+                )
+                order_out = np.lexsort((self.edge_sources, self.out_indices))
+                order_in = np.lexsort((self.in_indices, in_targets))
+                mapping = np.empty(order_out.size, dtype=np.int64)
+                mapping[order_out] = order_in
+            self._out_to_in_position = mapping
+        return self._out_to_in_position
 
     def indices_for(self, labels: Iterable[Node]) -> list[int]:
         """Map original node labels to compiled indices."""

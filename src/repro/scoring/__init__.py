@@ -1,0 +1,17 @@
+"""Incremental residual scoring for the ScoreGREEDY family.
+
+The :class:`~repro.scoring.engine.ScoreEngine` maintains EaSyIM (Alg. 4) and
+OSIM (Alg. 5) score state across ScoreGREEDY iterations and, after each
+activation update, recomputes scores only over the l-hop reverse ball of the
+newly activated nodes instead of re-running the full ``O(l (m + n))`` pass.
+"""
+
+from repro.scoring.engine import (
+    DEFAULT_FALLBACK_FRACTION,
+    ScoreEngine,
+)
+
+__all__ = [
+    "DEFAULT_FALLBACK_FRACTION",
+    "ScoreEngine",
+]
