@@ -21,7 +21,6 @@ from __future__ import annotations
 import repro
 from repro.bench.harness import measure_selection
 from repro.bench.reporting import format_table
-from repro.diffusion import MonteCarloEngine
 
 BUDGET = 10
 SIMULATIONS = 300
@@ -36,8 +35,13 @@ def main() -> None:
     print(f"Dataset: {graph.number_of_nodes} nodes, {graph.number_of_edges} edges, "
           f"budget k={BUDGET}\n")
 
-    ic_engine = MonteCarloEngine(graph, "ic", simulations=SIMULATIONS, seed=1)
-    oi_engine = MonteCarloEngine(graph, "oi-ic", simulations=SIMULATIONS, seed=1)
+    # Both reference evaluators ride the estimator protocol of the unified
+    # experiment API — the same backends `repro.run_experiment` negotiates.
+    mc = repro.EstimatorSpec(backend="monte-carlo", simulations=SIMULATIONS,
+                             engine_seed=1)
+    ic_estimator = repro.build_estimator(mc, graph, "ic")
+    oi_estimator = repro.build_estimator(mc, graph, "oi-ic",
+                                         objective="effective-opinion")
 
     opinion_oblivious = {
         "greedy (CELF)": ("celf", {"model": "ic", "simulations": 50, "seed": 0}),
@@ -57,7 +61,7 @@ def main() -> None:
         rows.append(
             {
                 "algorithm": label,
-                "expected spread (IC)": round(ic_engine.expected_spread(run.seeds), 1),
+                "expected spread (IC)": round(ic_estimator.estimate(run.seeds), 1),
                 "time (s)": round(run.runtime_seconds, 3),
                 "memory (MB)": round(run.peak_memory_mb, 2),
             }
@@ -78,7 +82,7 @@ def main() -> None:
             {
                 "algorithm": label,
                 "effective opinion spread (OI)": round(
-                    oi_engine.expected_effective_opinion_spread(run.seeds), 2
+                    oi_estimator.estimate(run.seeds), 2
                 ),
                 "time (s)": round(run.runtime_seconds, 3),
                 "memory (MB)": round(run.peak_memory_mb, 2),

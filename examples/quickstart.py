@@ -7,9 +7,13 @@ number of activations), but once opinions and interactions are taken into
 account (the OI model and the MEO objective) the best seed flips to ``A`` —
 seeding ``C`` would mostly spread *negative* opinion.
 
-It then runs the same pipeline on a synthetic NetHEPT-like graph to show the
-full public API: load a dataset, annotate it, define a problem, run an
-algorithm, inspect the result.
+It then runs the same pipeline on a synthetic NetHEPT-like graph through the
+declarative experiment API: describe the whole experiment as one
+JSON-round-trippable :class:`repro.ExperimentSpec`, execute it with
+:func:`repro.run_experiment`, and inspect the :class:`repro.RunResult`
+(seeds, objective value, k-sweep curve, full provenance).  The same spec is
+checked in at ``examples/specs/quickstart_meo.json`` and runs from the shell
+with ``repro-im run``.
 
 Run with::
 
@@ -54,27 +58,49 @@ def figure1_example() -> None:
 
 def synthetic_dataset_example() -> None:
     print("=" * 70)
-    print("Part 2 — a NetHEPT-like synthetic graph")
+    print("Part 2 — a NetHEPT-like synthetic graph, declaratively")
     print("=" * 70)
-    graph = repro.load_dataset("nethept", scale=0.5, seed=7)
-    repro.annotate_graph(graph, opinion="normal", interaction="uniform", seed=7)
-    stats = repro.compute_stats(graph, seed=0)
-    print(f"Dataset: {stats.name}  n={stats.nodes}  m={stats.edges}  "
-          f"avg degree={stats.average_degree:.2f}  "
-          f"90%-diameter={stats.effective_diameter:.1f}")
+    spec = repro.ExperimentSpec(
+        name="quickstart-meo-osim",
+        graph=repro.GraphSpec(dataset="nethept", scale=0.5, seed=7,
+                              annotate=True, opinion="normal"),
+        model=repro.ModelSpec(name="oi-ic"),
+        algorithm=repro.AlgorithmSpec(name="osim",
+                                      options={"max_path_length": 3}),
+        budget=10,
+        seed=1,
+        evaluation=repro.EvalSpec(
+            objective="effective-opinion",
+            penalty=1.0,
+            seed_counts=[0, 5, 10],
+            estimator=repro.EstimatorSpec(backend="monte-carlo",
+                                          simulations=500, engine_seed=1),
+        ),
+    )
+    # Specs are data: they round-trip through JSON bit-for-bit, so the same
+    # experiment can be checked in and executed with `repro-im run`.
+    assert repro.ExperimentSpec.from_json(spec.to_json()) == spec
 
-    problem = repro.MEOProblem(graph, budget=10, model="oi-ic", penalty=1.0)
-    result = repro.InfluenceMaximizer(
-        problem, algorithm="osim", simulations=500, seed=1, max_path_length=3
-    ).run()
+    result = repro.run_experiment(spec)
+    print(f"Dataset: {result.dataset}  n={result.provenance['n']}  "
+          f"m={result.provenance['m']}")
     print(f"\nOSIM seeds (k=10): {result.seeds}")
-    print(f"Expected effective opinion spread: {result.expected_spread:+.3f}")
-    print(f"Selection time: {result.metadata['runtime_seconds'] * 1000:.1f} ms")
+    print(f"Expected effective opinion spread: {result.value:+.3f}")
+    print(f"k-sweep: {result.curve}")
+    print(f"Selection time: {result.timings['selection_seconds'] * 1000:.1f} ms")
+    print(f"Graph fingerprint: {result.provenance['graph_fingerprint'][:16]}…")
 
+    # The estimator protocol is directly usable for ad-hoc comparisons: the
+    # same Monte-Carlo backend evaluates a structural baseline's seeds.
+    graph = spec.graph.build()
     baseline = repro.get_algorithm("high-degree").select(graph, 10)
-    engine = repro.MonteCarloEngine(graph, "oi-ic", simulations=500, seed=1)
-    baseline_value = engine.expected_effective_opinion_spread(baseline.seeds)
-    print(f"High-degree baseline spread:       {baseline_value:+.3f}")
+    estimator = repro.build_estimator(
+        repro.EstimatorSpec(backend="monte-carlo", simulations=500,
+                            engine_seed=1),
+        graph, "oi-ic", objective="effective-opinion", penalty=1.0,
+    )
+    print(f"High-degree baseline spread:       "
+          f"{estimator.estimate(baseline.seeds):+.3f}")
 
 
 if __name__ == "__main__":

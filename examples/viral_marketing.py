@@ -28,7 +28,6 @@ import numpy as np
 
 import repro
 from repro.algorithms import EaSyIMSelector, HighDegreeSelector, OSIMSelector, RandomSelector
-from repro.diffusion import MonteCarloEngine
 
 BUDGET = 15
 SIMULATIONS = 400
@@ -55,13 +54,19 @@ def build_campaign_graph() -> repro.DiGraph:
 
 
 def evaluate_strategy(graph: repro.DiGraph, label: str, seeds: list) -> dict:
-    engine = MonteCarloEngine(graph, "oi-ic", simulations=SIMULATIONS, seed=3)
-    estimate = engine.estimate(seeds)
+    # One Monte-Carlo estimate reports all three objectives through the
+    # unified estimator protocol (repro.SpreadEstimator).
+    estimator = repro.build_estimator(
+        repro.EstimatorSpec(backend="monte-carlo", simulations=SIMULATIONS,
+                            engine_seed=3),
+        graph, "oi-ic", objective="effective-opinion",
+    )
+    details = estimator.details(seeds)
     return {
         "strategy": label,
-        "users reached": round(estimate.spread, 1),
-        "opinion spread": round(estimate.opinion_spread, 2),
-        "effective opinion spread": round(estimate.effective_opinion_spread, 2),
+        "users reached": round(details["spread"], 1),
+        "opinion spread": round(details["opinion_spread"], 2),
+        "effective opinion spread": round(details["effective_opinion_spread"], 2),
     }
 
 

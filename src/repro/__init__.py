@@ -14,16 +14,25 @@ The package provides:
   graphs, the Twitter topic pipeline, the PAKDD churn pipeline);
 * a benchmark harness regenerating every table and figure of the evaluation.
 
-Quickstart::
+Quickstart — the declarative experiment API::
 
     import repro
 
-    graph = repro.load_dataset("nethept", seed=7)
-    repro.annotate_graph(graph, opinion="normal", interaction="uniform", seed=7)
+    spec = repro.ExperimentSpec(
+        graph=repro.GraphSpec(dataset="nethept", seed=7, annotate=True,
+                              opinion="normal"),
+        model=repro.ModelSpec(name="oi-ic"),
+        algorithm=repro.AlgorithmSpec(name="osim"),
+        budget=10,
+        evaluation=repro.EvalSpec(objective="effective-opinion"),
+    )
+    result = repro.run_experiment(spec)
+    print(result.seeds, result.value)
+    print(result.to_json())          # full provenance, repro/run-result@1
 
-    problem = repro.MEOProblem(graph, budget=10, model="oi-ic", penalty=1.0)
-    result = repro.InfluenceMaximizer(problem, algorithm="osim").run()
-    print(result.seeds, result.expected_spread)
+The imperative facade (:class:`InfluenceMaximizer`) remains available for
+programmatic use; every spec round-trips through JSON, so the same
+experiment can be checked in as a file and executed with ``repro-im run``.
 """
 
 from repro.exceptions import (
@@ -32,8 +41,12 @@ from repro.exceptions import (
     ConfigurationError,
     DatasetError,
     GraphError,
+    IndexArtifactError,
+    IndexMismatchError,
     MissingAnnotationError,
     ReproError,
+    ServingError,
+    SpecError,
 )
 from repro.graphs import (
     CompiledGraph,
@@ -56,7 +69,13 @@ from repro.diffusion import (
     get_model,
     simulate_batch,
 )
-from repro.algorithms import available_algorithms, get_algorithm
+from repro.algorithms import (
+    AlgorithmInfo,
+    algorithm_capabilities,
+    algorithm_info,
+    available_algorithms,
+    get_algorithm,
+)
 from repro.opinion import annotate_interactions, annotate_opinions
 from repro.opinion.annotate import annotate_graph
 from repro.datasets import available_datasets, load_dataset
@@ -68,10 +87,36 @@ from repro.core import (
     compare_seed_sets,
     evaluate_seed_prefixes,
 )
+from repro.core.evaluation import (
+    SeedSetEvaluation,
+    index_evaluate_seed_prefixes,
+    sketch_evaluate_seed_prefixes,
+)
 from repro.serving import InfluenceIndex, InfluenceService
 from repro.scoring import ScoreEngine
+from repro.specs import (
+    AlgorithmSpec,
+    EstimatorSpec,
+    EvalSpec,
+    ExperimentSpec,
+    GraphSpec,
+    ModelSpec,
+    load_experiment_spec,
+)
+from repro.api import (
+    IndexEstimator,
+    MonteCarloEstimator,
+    RunResult,
+    ScoreEstimator,
+    SketchEstimator,
+    SpreadEstimator,
+    build_estimator,
+    build_selector,
+    estimator_capabilities,
+    run_experiment,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -83,6 +128,10 @@ __all__ = [
     "DatasetError",
     "AlgorithmError",
     "BudgetError",
+    "ServingError",
+    "IndexArtifactError",
+    "IndexMismatchError",
+    "SpecError",
     # graphs
     "DiGraph",
     "CompiledGraph",
@@ -105,6 +154,9 @@ __all__ = [
     # algorithms
     "get_algorithm",
     "available_algorithms",
+    "AlgorithmInfo",
+    "algorithm_info",
+    "algorithm_capabilities",
     # opinion annotation
     "annotate_opinions",
     "annotate_interactions",
@@ -119,9 +171,31 @@ __all__ = [
     "MaximizationResult",
     "evaluate_seed_prefixes",
     "compare_seed_sets",
+    "SeedSetEvaluation",
+    "sketch_evaluate_seed_prefixes",
+    "index_evaluate_seed_prefixes",
     # serving
     "InfluenceIndex",
     "InfluenceService",
     # scoring
     "ScoreEngine",
+    # experiment specs
+    "ExperimentSpec",
+    "GraphSpec",
+    "ModelSpec",
+    "AlgorithmSpec",
+    "EstimatorSpec",
+    "EvalSpec",
+    "load_experiment_spec",
+    # unified experiment API
+    "run_experiment",
+    "RunResult",
+    "SpreadEstimator",
+    "build_estimator",
+    "build_selector",
+    "estimator_capabilities",
+    "MonteCarloEstimator",
+    "SketchEstimator",
+    "IndexEstimator",
+    "ScoreEstimator",
 ]

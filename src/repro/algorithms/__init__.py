@@ -39,11 +39,20 @@ from repro.algorithms.irie import IRIESelector
 from repro.algorithms.simpath import SimPathSelector
 from repro.algorithms.tim import TIMPlusSelector
 from repro.algorithms.imm import IMMSelector
-from repro.algorithms.registry import available_algorithms, get_algorithm
+from repro.algorithms.registry import (
+    AlgorithmInfo,
+    algorithm_capabilities,
+    algorithm_info,
+    available_algorithms,
+    get_algorithm,
+)
 
 __all__ = [
     "SeedSelector",
     "SeedSelectionResult",
+    "AlgorithmInfo",
+    "algorithm_capabilities",
+    "algorithm_info",
     "RandomSelector",
     "HighDegreeSelector",
     "SingleDiscountSelector",

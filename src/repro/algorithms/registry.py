@@ -1,13 +1,24 @@
-"""Name-based lookup of seed-selection algorithms.
+"""Name-based lookup of seed-selection algorithms, with capability metadata.
 
 Mirrors :mod:`repro.diffusion.registry` for algorithms: the public API, the
 CLI and the benchmark harness ask for algorithms by short string identifiers
 and pass configuration as keyword arguments.
+
+Each registry entry is an :class:`AlgorithmInfo` declaring what the
+algorithm's constructor understands (model / objective / penalty / seed /
+...), so callers like :class:`~repro.core.maximizer.InfluenceMaximizer` and
+:func:`repro.api.run_experiment` inject context by *capability* instead of
+maintaining hard-coded name sets.  ``supported_models`` restricts which
+diffusion models an algorithm accepts (``None`` means any registered model);
+``base_model_fallback`` marks the RIS algorithms, which understand only the
+opinion-oblivious first layer of an opinion-aware model and may be handed
+its ic/wc/lt base layer instead.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
 
 from repro.algorithms.base import SeedSelector
 from repro.algorithms.degree import (
@@ -27,28 +38,107 @@ from repro.algorithms.random_seeds import RandomSelector
 from repro.algorithms.simpath import SimPathSelector
 from repro.algorithms.tim import TIMPlusSelector
 from repro.exceptions import ConfigurationError
+from repro.sketches.sampler import SUPPORTED_MODELS as _RIS_SUPPORTED_MODELS
 
-_REGISTRY: Dict[str, Type[SeedSelector]] = {
-    "random": RandomSelector,
-    "high-degree": HighDegreeSelector,
-    "single-discount": SingleDiscountSelector,
-    "degree-discount": DegreeDiscountSelector,
-    "pagerank": PageRankSelector,
-    "greedy": GreedySelector,
-    "celf": CELFSelector,
-    "celf++": CELFPlusPlusSelector,
-    "modified-greedy": ModifiedGreedySelector,
-    "easyim": EaSyIMSelector,
-    "osim": OSIMSelector,
-    "path-union": PathUnionSelector,
-    "irie": IRIESelector,
-    "simpath": SimPathSelector,
-    "tim+": TIMPlusSelector,
-    "imm": IMMSelector,
+#: The opinion-oblivious base layers the RIS stack samples under (the one
+#: definition lives with the sampler; this is the set view capability
+#: metadata uses).
+RIS_MODELS = frozenset(_RIS_SUPPORTED_MODELS)
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Constructor capabilities of one registered seed-selection algorithm."""
+
+    name: str
+    cls: Type[SeedSelector]
+    #: Accepts a ``model=`` keyword (string name or model instance).
+    model_aware: bool = False
+    #: Accepts an ``objective=`` keyword (spread / opinion / effective-opinion).
+    objective_aware: bool = False
+    #: Accepts a ``penalty=`` keyword (the MEO lambda).
+    penalty_aware: bool = False
+    #: Accepts a ``seed=`` keyword controlling the selector's own RNG.
+    seedable: bool = False
+    #: Accepts a ``simulations=`` keyword (Monte-Carlo greedy family).
+    simulation_aware: bool = False
+    #: Accepts a ``max_path_length=`` keyword (the paper's ``l``).
+    path_length_aware: bool = False
+    #: Accepts ``incremental=`` / ``fallback_fraction=`` (score engine).
+    incremental: bool = False
+    #: Optimises an opinion-aware objective out of the box.
+    opinion_aware: bool = False
+    #: Diffusion models the algorithm accepts; ``None`` means any registered.
+    supported_models: Optional[frozenset] = None
+    #: When the model is unsupported, may it be coerced to its ic/wc/lt base
+    #: layer (the RIS algorithms only see the opinion-oblivious first layer)?
+    base_model_fallback: bool = False
+    #: Accepts a ``max_rr_sets=`` keyword (RIS sampling cap).
+    rr_set_aware: bool = False
+
+
+_REGISTRY: Dict[str, AlgorithmInfo] = {
+    info.name: info
+    for info in (
+        AlgorithmInfo("random", RandomSelector, seedable=True),
+        AlgorithmInfo("high-degree", HighDegreeSelector),
+        AlgorithmInfo("single-discount", SingleDiscountSelector),
+        AlgorithmInfo("degree-discount", DegreeDiscountSelector),
+        AlgorithmInfo("pagerank", PageRankSelector),
+        AlgorithmInfo(
+            "greedy", GreedySelector,
+            model_aware=True, objective_aware=True, penalty_aware=True,
+            seedable=True, simulation_aware=True,
+        ),
+        AlgorithmInfo(
+            "celf", CELFSelector,
+            model_aware=True, objective_aware=True, penalty_aware=True,
+            seedable=True, simulation_aware=True,
+        ),
+        AlgorithmInfo(
+            "celf++", CELFPlusPlusSelector,
+            model_aware=True, objective_aware=True, penalty_aware=True,
+            seedable=True, simulation_aware=True,
+        ),
+        AlgorithmInfo(
+            "modified-greedy", ModifiedGreedySelector,
+            model_aware=True, penalty_aware=True, seedable=True,
+            simulation_aware=True, opinion_aware=True,
+        ),
+        AlgorithmInfo(
+            "easyim", EaSyIMSelector,
+            model_aware=True, seedable=True, path_length_aware=True,
+            incremental=True,
+        ),
+        AlgorithmInfo(
+            "osim", OSIMSelector,
+            model_aware=True, seedable=True, path_length_aware=True,
+            incremental=True, opinion_aware=True,
+        ),
+        AlgorithmInfo(
+            "path-union", PathUnionSelector,
+            model_aware=True, seedable=True, path_length_aware=True,
+        ),
+        AlgorithmInfo("irie", IRIESelector),
+        AlgorithmInfo("simpath", SimPathSelector),
+        AlgorithmInfo(
+            "tim+", TIMPlusSelector,
+            model_aware=True, seedable=True, supported_models=RIS_MODELS,
+            base_model_fallback=True, rr_set_aware=True,
+        ),
+        AlgorithmInfo(
+            "imm", IMMSelector,
+            model_aware=True, seedable=True, supported_models=RIS_MODELS,
+            base_model_fallback=True, rr_set_aware=True,
+        ),
+    )
 }
 
-#: Algorithms that optimise an opinion-aware objective out of the box.
-OPINION_AWARE_ALGORITHMS = frozenset({"osim", "modified-greedy"})
+#: Algorithms that optimise an opinion-aware objective out of the box
+#: (derived from the capability metadata; kept for backwards compatibility).
+OPINION_AWARE_ALGORITHMS = frozenset(
+    name for name, info in _REGISTRY.items() if info.opinion_aware
+)
 
 
 def available_algorithms() -> list[str]:
@@ -56,13 +146,78 @@ def available_algorithms() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def get_algorithm(name: str, **kwargs: object) -> SeedSelector:
-    """Instantiate the algorithm registered under ``name`` with ``kwargs``."""
-    if isinstance(name, SeedSelector):
-        return name
+def algorithm_info(name: str) -> AlgorithmInfo:
+    """Capability metadata for the algorithm registered under ``name``."""
     key = str(name).lower()
     if key not in _REGISTRY:
         raise ConfigurationError(
             f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
         )
-    return _REGISTRY[key](**kwargs)  # type: ignore[arg-type]
+    return _REGISTRY[key]
+
+
+def algorithm_capabilities() -> Dict[str, Dict[str, object]]:
+    """Capability table for every registered algorithm (docs / CLI / specs).
+
+    Flags that are ``False`` and an unrestricted ``supported_models`` are
+    omitted, so the table reads as "what is special about this algorithm".
+    """
+    table: Dict[str, Dict[str, object]] = {}
+    for name in available_algorithms():
+        info = _REGISTRY[name]
+        row: Dict[str, object] = {}
+        for flag in (
+            "model_aware", "objective_aware", "penalty_aware", "seedable",
+            "simulation_aware", "path_length_aware", "incremental",
+            "opinion_aware", "base_model_fallback", "rr_set_aware",
+        ):
+            if getattr(info, flag):
+                row[flag] = True
+        if info.supported_models is not None:
+            row["supported_models"] = sorted(info.supported_models)
+        table[name] = row
+    return table
+
+
+def base_model_layer(model_name: str) -> str:
+    """The ic/wc/lt base layer of a (possibly opinion-aware) model name.
+
+    The RIS algorithms sample reverse-reachable sets under the
+    opinion-oblivious first layer of the diffusion process; ``oi-lt`` maps
+    to ``lt``, ``oi-wc`` to ``wc``, everything else (``oi-ic``, ``icn``,
+    ``oc``, ``ic`` itself) to ``ic``.
+    """
+    name = str(model_name).lower()
+    if name in RIS_MODELS:
+        return name
+    # Match by name segment, not suffix: "lt-live-edge" is an LT-equivalent
+    # sampler, not an IC variant.
+    parts = name.split("-")
+    if "lt" in parts:
+        return "lt"
+    if "wc" in parts:
+        return "wc"
+    return "ic"
+
+
+def check_model_support(name: str, model_name: str) -> None:
+    """Raise :class:`ConfigurationError` if ``name`` rejects ``model_name``.
+
+    The error lists the models the algorithm does support, per the
+    capability metadata.
+    """
+    info = algorithm_info(name)
+    if info.supported_models is not None and model_name not in info.supported_models:
+        raise ConfigurationError(
+            f"algorithm {info.name!r} only supports the "
+            f"{'/'.join(sorted(info.supported_models))} models, got "
+            f"{model_name!r}; pick one of those or an algorithm without the "
+            "restriction (see repro.algorithms.registry.algorithm_capabilities())"
+        )
+
+
+def get_algorithm(name: str, **kwargs: object) -> SeedSelector:
+    """Instantiate the algorithm registered under ``name`` with ``kwargs``."""
+    if isinstance(name, SeedSelector):
+        return name
+    return algorithm_info(name).cls(**kwargs)  # type: ignore[arg-type]

@@ -1,6 +1,6 @@
 """Registry of the paper's experiments (per-figure / per-table index).
 
-Each :class:`ExperimentSpec` records which figure or table it reproduces, the
+Each :class:`PaperExperiment` records which figure or table it reproduces, the
 workload (datasets, models, seed counts), and the benchmark module that
 regenerates it.  DESIGN.md's experiment index and the CLI's ``experiments``
 sub-command are both rendered from this registry, so documentation and code
@@ -16,7 +16,7 @@ from repro.exceptions import ConfigurationError
 
 
 @dataclass(frozen=True)
-class ExperimentSpec:
+class PaperExperiment:
     """Description of one paper experiment and how this repo reproduces it."""
 
     identifier: str
@@ -30,122 +30,122 @@ class ExperimentSpec:
     notes: str = ""
 
 
-EXPERIMENTS: Dict[str, ExperimentSpec] = {
+EXPERIMENTS: Dict[str, PaperExperiment] = {
     spec.identifier: spec
     for spec in (
-        ExperimentSpec(
+        PaperExperiment(
             "table2", "Table 2", "Dataset statistics (n, m, avg degree, diameter)",
             ("nethept", "hepph", "dblp", "youtube", "soclive", "orkut", "twitter", "friendster"),
             (), (), (),
             "benchmarks/bench_table2_datasets.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig2", "Figure 2", "Opinion spread of OI vs IC vs OC seed sets",
             ("nethept", "hepph"), ("oi-ic", "ic", "oc"), ("osim", "easyim"),
             (0, 25, 50, 100, 150, 200),
             "benchmarks/bench_fig2_motivation.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig5a", "Figure 5(a)", "Twitter topic graphs: model spread vs ground truth (k=50)",
             ("twitter-synthetic",), ("oi-ic", "ic", "oc"), ("ground-truth-seeds",), (50,),
             "benchmarks/bench_fig5a_twitter_topics.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig5b", "Figure 5(b)", "Twitter: normalised RMSE vs #seeds",
             ("twitter-synthetic",), ("oi-ic", "ic", "oc"), ("ground-truth-seeds",),
             (10, 25, 50, 75, 100),
             "benchmarks/bench_fig5b_twitter_rmse.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig5c", "Figure 5(c)", "Twitter background graph: opinion spread of OI/OC/IC seeds",
             ("twitter-synthetic",), ("oi-ic", "oc", "ic"), ("osim", "easyim"),
             (0, 25, 50, 75, 100),
             "benchmarks/bench_fig5c_twitter_spread.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig5d", "Figure 5(d)", "Churn case study: opinion spread of OI/OC/IC seeds",
             ("pakdd-synthetic",), ("oi-ic", "oc", "ic"), ("osim", "easyim"),
             (0, 50, 100, 150, 200),
             "benchmarks/bench_fig5d_churn.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig5e", "Figure 5(e)", "Effective opinion spread: lambda=1 vs lambda=0",
             ("nethept", "hepph"), ("oi-ic",), ("osim",), (0, 50, 100, 150, 200),
             "benchmarks/bench_fig5e_lambda.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig5f", "Figure 5(f)", "OSIM l-sweep vs Modified-GREEDY (NetHEPT, OI)",
             ("nethept",), ("oi-ic",), ("osim", "modified-greedy"), (0, 25, 50, 100),
             "benchmarks/bench_fig5f_osim_quality.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig5g", "Figure 5(g)", "OSIM running time vs Modified-GREEDY (NetHEPT, OI)",
             ("nethept",), ("oi-ic",), ("osim", "modified-greedy"), (10, 25, 50),
             "benchmarks/bench_fig5g_osim_time.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig5h", "Figure 5(h)", "OSIM memory vs Modified-GREEDY (medium datasets)",
             ("nethept", "hepph", "dblp", "youtube"), ("oi-ic",), ("osim", "modified-greedy"),
             (20,),
             "benchmarks/bench_fig5h_osim_memory.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig6a-c", "Figures 6(a)-(c)", "EaSyIM l-sweep quality under LT/IC/WC",
             ("nethept", "dblp", "youtube"), ("lt", "ic", "wc"), ("easyim",),
             (0, 25, 50, 75, 100),
             "benchmarks/bench_fig6_quality_lsweep.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig6d-e", "Figures 6(d)-(e)", "EaSyIM vs TIM+ vs CELF++ quality (IC)",
             ("hepph", "dblp"), ("ic",), ("easyim", "tim+", "celf++"), (0, 25, 50, 75, 100),
             "benchmarks/bench_fig6_quality_competitors.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig6f-h", "Figures 6(f)-(h)", "Running time vs #seeds (LT/IC/WC)",
             ("nethept", "dblp", "youtube"), ("lt", "ic", "wc"),
             ("easyim", "tim+", "celf++"), (10, 25, 50),
             "benchmarks/bench_fig6_time.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig6i-j", "Figures 6(i)-(j)", "Memory footprint comparisons",
             ("nethept", "hepph", "dblp", "youtube"), ("ic",),
             ("easyim", "celf++", "tim+", "irie", "simpath"), (20, 50, 100),
             "benchmarks/bench_fig6_memory.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "table3", "Table 3", "EaSyIM (l=1) vs TIM+: time and memory, k=50",
             ("dblp", "youtube", "soclive"), ("ic",), ("easyim", "tim+"), (50,),
             "benchmarks/bench_table3_tim.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "table4", "Table 4", "EaSyIM (l=1) vs CELF++: time and memory, k=100",
             ("nethept", "hepph", "dblp"), ("ic",), ("easyim", "celf++"), (100,),
             "benchmarks/bench_table4_celfpp.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig7a-c", "Figures 7(a)-(c)", "Appendix quality results (lambda sweep, OC model, OI l-sweep)",
             ("dblp", "youtube", "hepph"), ("oi-ic", "oc"), ("osim", "greedy"),
             (0, 50, 100, 150, 200),
             "benchmarks/bench_fig7_appendix_quality.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig7d-e", "Figures 7(d)-(e)", "EaSyIM vs SIMPATH (LT) and IRIE (WC) quality",
             ("nethept", "youtube"), ("lt", "wc"), ("easyim", "simpath", "irie"),
             (0, 25, 50, 75, 100),
             "benchmarks/bench_fig7_appendix_heuristics.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig7f-i", "Figures 7(f)-(i)", "Appendix running-time comparisons",
             ("hepph", "dblp", "youtube", "nethept"), ("oc", "oi-ic", "wc", "lt"),
             ("osim", "easyim", "irie", "simpath"), (10, 25, 50),
             "benchmarks/bench_fig7_appendix_time.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "fig7j", "Figure 7(j)", "EaSyIM memory on the large datasets",
             ("soclive", "orkut", "twitter", "friendster"), ("ic",), ("easyim",), (20,),
             "benchmarks/bench_fig7_large_memory.py",
         ),
-        ExperimentSpec(
+        PaperExperiment(
             "ablations", "Design ablations", "Cycle discounting, lazy evaluation, LT live-edge equivalence",
             ("nethept",), ("ic", "lt"), ("easyim", "path-union", "celf", "greedy"), (5, 10),
             "benchmarks/bench_ablations.py",
@@ -154,7 +154,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
 }
 
 
-def get_experiment(identifier: str) -> ExperimentSpec:
+def get_experiment(identifier: str) -> PaperExperiment:
     """Look up an experiment by identifier (e.g. ``"fig5f"`` or ``"table3"``)."""
     key = identifier.lower()
     if key not in EXPERIMENTS:
@@ -162,6 +162,23 @@ def get_experiment(identifier: str) -> ExperimentSpec:
             f"unknown experiment {identifier!r}; available: {', '.join(sorted(EXPERIMENTS))}"
         )
     return EXPERIMENTS[key]
+
+
+def __getattr__(name: str):
+    # The per-figure index class used to be called ExperimentSpec, which now
+    # names the declarative spec in repro.specs; keep the old path importable.
+    if name == "ExperimentSpec":
+        import warnings
+
+        warnings.warn(
+            "repro.bench.experiments.ExperimentSpec was renamed to "
+            "PaperExperiment (the declarative experiment spec now lives at "
+            "repro.specs.ExperimentSpec)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return PaperExperiment
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def experiment_index_rows() -> List[dict]:

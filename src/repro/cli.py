@@ -1,4 +1,4 @@
-"""Command-line interface.
+"""Command-line interface: thin shims over the declarative experiment API.
 
 Installed as ``repro-im`` (see ``pyproject.toml``) and also runnable as
 ``python -m repro.cli``.  Sub-commands:
@@ -6,6 +6,7 @@ Installed as ``repro-im`` (see ``pyproject.toml``) and also runnable as
 * ``datasets``   — list the synthetic dataset registry with Table 2 stats.
 * ``select``     — run a seed-selection algorithm on a dataset or edge list.
 * ``evaluate``   — evaluate a given seed set under a diffusion model.
+* ``run``        — execute a declarative ``ExperimentSpec`` JSON file.
 * ``experiments``— list the per-figure/table experiment index.
 * ``index build``— sample RR sketches once and persist an influence index.
 * ``index query``— answer select/evaluate/sweep queries from a persisted
@@ -13,8 +14,12 @@ Installed as ``repro-im`` (see ``pyproject.toml``) and also runnable as
 * ``serve``      — run an :class:`~repro.serving.service.InfluenceService`
   over a JSON-lines stdin/stdout protocol.
 
-``select``/``evaluate``/``index``/``serve`` all speak ``--json`` so service
-clients and scripts can consume results without parsing log text.
+``select``, ``evaluate``, ``index query`` and ``run`` are *shims*: each
+constructs an :class:`~repro.specs.ExperimentSpec` (or an estimator spec)
+from its flags and delegates to :func:`repro.api.run_experiment` /
+:func:`repro.api.build_estimator`.  Under ``--json`` they all emit the one
+``repro/run-result@1`` payload (see DESIGN.md, "Experiment API"), so
+service clients parse a single schema regardless of which backend answered.
 """
 
 from __future__ import annotations
@@ -25,19 +30,31 @@ import sys
 import time
 from typing import Optional, Sequence
 
-from repro.algorithms.registry import available_algorithms, get_algorithm
+from repro.algorithms.registry import available_algorithms
+from repro.api import (
+    RunResult,
+    build_estimator,
+    def3_spread,
+    jsonable as _jsonable,
+    run_experiment,
+)
 from repro.bench.experiments import experiment_index_rows
 from repro.bench.reporting import format_table
-from repro.core.evaluation import evaluate_seed_prefixes
 from repro.datasets.registry import available_datasets, dataset_spec, load_dataset
 from repro.diffusion.registry import available_models
-from repro.diffusion.simulation import MonteCarloEngine
 from repro.exceptions import ConfigurationError
 from repro.sketches.sampler import SUPPORTED_MODELS as RIS_MODELS
-from repro.graphs.io import read_edge_list
 from repro.graphs.stats import compute_stats
-from repro.opinion.annotate import annotate_graph
 from repro.serving import InfluenceIndex, InfluenceService
+from repro.specs import (
+    AlgorithmSpec,
+    EstimatorSpec,
+    EvalSpec,
+    ExperimentSpec,
+    GraphSpec,
+    ModelSpec,
+    load_experiment_spec,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,6 +121,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="annotate opinions/interactions before evaluation",
     )
     evaluate_parser.add_argument("--json", action="store_true")
+
+    run_parser = subparsers.add_parser(
+        "run", help="execute a declarative ExperimentSpec JSON file"
+    )
+    run_parser.add_argument("spec", help="path to an ExperimentSpec JSON document")
+    run_parser.add_argument(
+        "--validate-only", action="store_true",
+        help="validate the spec and exit without running it",
+    )
+    run_parser.add_argument("--json", action="store_true", help="emit JSON output")
 
     subparsers.add_parser("experiments", help="list the paper experiment index")
 
@@ -201,14 +228,37 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _graph_spec_from_args(args: argparse.Namespace) -> GraphSpec:
+    """The declarative description of the graph the CLI flags name."""
+    return GraphSpec(
+        dataset=getattr(args, "dataset", None),
+        edge_list=getattr(args, "edge_list", None),
+        scale=args.scale,
+        seed=args.seed,
+        annotate=bool(getattr(args, "annotate", False)),
+    )
+
+
 def _load_graph(args: argparse.Namespace):
-    if getattr(args, "dataset", None):
-        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    else:
-        graph = read_edge_list(args.edge_list)
-    if getattr(args, "annotate", False):
-        annotate_graph(graph, opinion="uniform", interaction="uniform", seed=args.seed)
-    return graph
+    return _graph_spec_from_args(args).build()
+
+
+def _print_result(result: RunResult, as_json: bool) -> None:
+    """Emit a RunResult: the unified JSON payload, or a flat table row."""
+    payload = result.to_payload()
+    if as_json:
+        print(json.dumps(payload, indent=2))
+        return
+    flat = {
+        key: value
+        for key, value in payload.items()
+        if key not in ("schema", "timings", "provenance", "selection_metadata")
+    }
+    if "seeds" in flat:
+        flat["seeds"] = ",".join(flat["seeds"])
+    if "curve" in flat:
+        flat["curve"] = ", ".join(f"k={k}: {v}" for k, v in flat["curve"].items())
+    print(format_table([flat], title=f"{result.query.capitalize()} result"))
 
 
 def _command_datasets(args: argparse.Namespace) -> int:
@@ -234,63 +284,42 @@ def _command_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_select(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
+def _select_spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    """Map ``select`` flags onto a declarative spec (behaviour-preserving)."""
     options: dict = {}
     if args.algorithm in ("easyim", "osim", "path-union"):
         options["max_path_length"] = args.max_path_length
-        options["model"] = args.model
-        if args.selection_seed is not None:
-            options["seed"] = args.selection_seed
         if args.algorithm in ("easyim", "osim"):
             options["incremental"] = not args.full_recompute
             if args.fallback_fraction is not None:
                 options["fallback_fraction"] = args.fallback_fraction
     elif args.algorithm in ("greedy", "celf", "celf++", "modified-greedy"):
-        options["model"] = args.model
         options["simulations"] = max(50, args.simulations // 5)
-        if args.selection_seed is not None:
-            options["seed"] = args.selection_seed
     elif args.algorithm in ("tim+", "imm"):
-        if args.model not in RIS_MODELS:
-            raise ConfigurationError(
-                f"algorithm {args.algorithm!r} only supports the "
-                f"{'/'.join(RIS_MODELS)} models, got {args.model!r}; pick one of "
-                "those or an opinion-aware algorithm (easyim/osim/greedy/...)"
-            )
-        options["model"] = args.model
         options["max_rr_sets"] = args.max_rr_sets
-        if args.selection_seed is not None:
-            options["seed"] = args.selection_seed
-    elif args.algorithm == "random":
-        if args.selection_seed is not None:
-            options["seed"] = args.selection_seed
-    selector = get_algorithm(args.algorithm, **options)
-    selection = selector.select(graph, args.budget)
-    engine = MonteCarloEngine(
-        graph, args.model, simulations=args.simulations,
-        penalty=args.penalty, seed=args.seed,
+    return ExperimentSpec(
+        name=f"cli-select-{args.algorithm}",
+        graph=_graph_spec_from_args(args),
+        model=ModelSpec(name=args.model),
+        algorithm=AlgorithmSpec(name=args.algorithm, options=options),
+        budget=args.budget,
+        seed=args.selection_seed,
+        evaluation=EvalSpec(
+            objective="spread",
+            penalty=args.penalty,
+            estimator=EstimatorSpec(
+                backend="monte-carlo",
+                simulations=args.simulations,
+                engine_seed=args.seed,
+            ),
+        ),
     )
-    estimate = engine.estimate(selection.seeds)
-    payload = {
-        "algorithm": selection.algorithm,
-        "dataset": graph.name,
-        "budget": args.budget,
-        "seeds": [str(s) for s in selection.seeds],
-        "runtime_seconds": round(selection.runtime_seconds, 4),
-        "expected_spread": round(estimate.spread, 3),
-        "expected_opinion_spread": round(estimate.opinion_spread, 3),
-        "expected_effective_opinion_spread": round(estimate.effective_opinion_spread, 3),
-    }
-    if args.json:
-        # Machine consumers also get the algorithm's own metadata (theta,
-        # KPT*, RR-set counts, ...) and the evaluation parameters.
-        payload["model"] = args.model
-        payload["simulations"] = args.simulations
-        payload["selection_metadata"] = _jsonable(selection.metadata)
-        print(json.dumps(payload, indent=2))
-    else:
-        print(format_table([payload], title="Seed selection result"))
+
+
+def _command_select(args: argparse.Namespace) -> int:
+    result = run_experiment(_select_spec_from_args(args))
+    result.query = "select"
+    _print_result(result, args.json)
     return 0
 
 
@@ -323,41 +352,35 @@ def _parse_counts(text: str) -> list:
         )
 
 
-def _jsonable(value):
-    """Best-effort conversion of metadata values to JSON-encodable types."""
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if hasattr(value, "tolist"):  # numpy scalar or array of any shape
-        return value.tolist()
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return str(value)
-
-
 def _command_evaluate(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    seeds = _parse_seeds(args.seeds)
-    engine = MonteCarloEngine(
-        graph, args.model, simulations=args.simulations,
-        penalty=args.penalty, seed=args.seed,
+    spec = ExperimentSpec(
+        name="cli-evaluate",
+        graph=_graph_spec_from_args(args),
+        model=ModelSpec(name=args.model),
+        seeds=_parse_seeds(args.seeds),
+        evaluation=EvalSpec(
+            objective="spread",
+            penalty=args.penalty,
+            estimator=EstimatorSpec(
+                backend="monte-carlo",
+                simulations=args.simulations,
+                engine_seed=args.seed,
+            ),
+        ),
     )
-    estimate = engine.estimate(seeds)
-    payload = {
-        "model": args.model,
-        "seeds": [str(s) for s in seeds],
-        "spread": round(estimate.spread, 3),
-        "opinion_spread": round(estimate.opinion_spread, 3),
-        "effective_opinion_spread": round(estimate.effective_opinion_spread, 3),
-        "simulations": args.simulations,
-    }
-    if args.json:
-        payload["dataset"] = graph.name
-        payload["penalty"] = args.penalty
-        print(json.dumps(payload, indent=2))
-    else:
-        print(format_table([payload], title="Seed set evaluation"))
+    result = run_experiment(spec)
+    _print_result(result, args.json)
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    spec = load_experiment_spec(args.spec)
+    if args.validate_only:
+        print(json.dumps({"ok": True, "spec": spec.to_dict()}, indent=2)
+              if args.json else f"spec {args.spec!r} is valid ({spec.name})")
+        return 0
+    result = run_experiment(spec)
+    _print_result(result, args.json)
     return 0
 
 
@@ -403,50 +426,87 @@ def _command_index_build(args: argparse.Namespace) -> int:
 
 
 def _command_index_query(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
+    graph_spec = _graph_spec_from_args(args)
+    graph = graph_spec.build().compile()
+    estimator_spec = EstimatorSpec(
+        backend="index", artifact=args.artifact, mmap=not args.no_mmap
+    )
     started = time.perf_counter()
-    index = InfluenceIndex.load(args.artifact, graph, mmap=not args.no_mmap)
+    estimator = build_estimator(estimator_spec, graph, None)
     load_seconds = time.perf_counter() - started
+    index = estimator.index
     if args.grow_theta is not None and args.grow_theta > index.theta:
         index.grow(args.grow_theta)
         index.save(args.artifact)
-    payload = {
+
+    timings = {"load_seconds": load_seconds}
+    started = time.perf_counter()
+    extras = {
         "artifact": str(args.artifact),
-        "model": index.model,
         "theta": index.theta,
         "memory_mapped": index.memory_mapped,
-        "load_seconds": round(load_seconds, 6),
     }
-    started = time.perf_counter()
     if args.budget is not None:
         selection = index.select(args.budget)
-        payload["query"] = "select"
-        payload["budget"] = args.budget
-        payload["seeds"] = [str(s) for s in selection.seeds]
-        payload["estimated_spread"] = round(selection.estimated_spread, 3)
-        payload["covered_fraction"] = round(selection.covered_fraction, 6)
+        result = RunResult(
+            query="select",
+            seeds=list(selection.seeds),
+            model=index.model,
+            objective="spread",
+            backend="index",
+            budget=args.budget,
+            spreads={"estimated_spread": selection.estimated_spread},
+            extras={**extras, "covered_fraction": round(selection.covered_fraction, 6)},
+        )
     elif args.seeds is not None:
         seeds = _parse_seeds(args.seeds)
-        payload["query"] = "evaluate"
-        payload["seeds"] = [str(s) for s in seeds]
-        payload["estimated_spread"] = round(index.estimate_spread(seeds), 3)
+        result = RunResult(
+            query="evaluate",
+            seeds=seeds,
+            model=index.model,
+            objective="spread",
+            backend="index",
+            spreads=estimator.details(seeds),
+            extras=extras,
+        )
     else:
         counts = _parse_counts(args.sweep)
-        curve = index.spread_curve(counts)
-        payload["query"] = "sweep"
-        payload["curve"] = {str(k): round(v, 3) for k, v in curve.items()}
-    payload["query_seconds"] = round(time.perf_counter() - started, 6)
+        raw_curve = index.spread_curve(counts)
+        # Def.-3 spread (activated nodes excluding seeds), matching what the
+        # estimator backends report for the same schema field; the raw
+        # seed-inclusive values stay available as estimated_curve.
+        result = RunResult(
+            query="sweep",
+            seeds=[],
+            model=index.model,
+            objective="spread",
+            backend="index",
+            curve={k: def3_spread(v, k) for k, v in raw_curve.items()},
+            extras={
+                **extras,
+                "estimated_curve": {
+                    str(k): round(float(v), 3) for k, v in raw_curve.items()
+                },
+            },
+        )
+    timings["query_seconds"] = time.perf_counter() - started
+    result.dataset = graph_spec.dataset
+    result.timings = timings
+    result.provenance = {
+        "graph_fingerprint": index.fingerprint,
+        "n": index.graph.number_of_nodes,
+        "m": index.graph.number_of_edges,
+        "estimator": estimator.describe(),
+        "numpy_version": index.numpy_version,
+    }
+    payload = result.to_payload()
+    # Back-compat keys the pre-spec CLI emitted at top level.
+    payload.setdefault("load_seconds", round(load_seconds, 6))
+    payload.setdefault("query_seconds", round(timings["query_seconds"], 6))
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
-        flat = dict(payload)
-        if "curve" in flat:
-            flat["curve"] = ", ".join(
-                f"k={k}: {v}" for k, v in flat["curve"].items()
-            )
-        if "seeds" in flat:
-            flat["seeds"] = ",".join(flat["seeds"])
-        print(format_table([flat], title="Influence index query"))
+        _print_result(result, as_json=False)
     return 0
 
 
@@ -459,6 +519,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     may carry ``"model"`` to override the CLI default.  Responses carry
     ``"ok"`` plus either the result fields or an ``"error"`` message, so a
     client never has to parse log text.
+
+    The wire protocol is intentionally smaller than the ``repro/run-result@1``
+    payload: the service coalesces concurrent evaluates into batched
+    coverage passes, so responses carry only the per-request numbers.
     """
     from repro.exceptions import ReproError
 
@@ -545,6 +609,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "datasets": _command_datasets,
         "select": _command_select,
         "evaluate": _command_evaluate,
+        "run": _command_run,
         "experiments": _command_experiments,
         "index": _command_index,
         "serve": _command_serve,

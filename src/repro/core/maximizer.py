@@ -13,11 +13,17 @@ Monte-Carlo engine.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.algorithms.base import SeedSelectionResult, SeedSelector
-from repro.algorithms.registry import get_algorithm
+from repro.algorithms.registry import (
+    algorithm_info,
+    base_model_layer,
+    check_model_support,
+    get_algorithm,
+)
 from repro.core.problem import IMProblem, MEOProblem
 from repro.diffusion.simulation import MonteCarloEngine
 from repro.exceptions import ConfigurationError
@@ -26,12 +32,28 @@ from repro.utils.rng import RandomState
 
 Problem = Union[IMProblem, MEOProblem]
 
-#: Algorithms whose constructor accepts a diffusion model.
-_MODEL_AWARE_ALGORITHMS = frozenset(
-    {"greedy", "celf", "celf++", "modified-greedy", "easyim", "osim", "path-union"}
-)
-#: Algorithms whose constructor accepts the objective/penalty configuration.
-_OBJECTIVE_AWARE_ALGORITHMS = frozenset({"greedy", "celf", "celf++"})
+
+def __getattr__(name: str):
+    # Deprecated capability frozensets, kept importable for old callers.
+    # Capabilities are now declared per algorithm in
+    # repro.algorithms.registry; these views are derived from that metadata.
+    if name in ("_MODEL_AWARE_ALGORITHMS", "_OBJECTIVE_AWARE_ALGORITHMS"):
+        from repro.algorithms.registry import _REGISTRY
+
+        warnings.warn(
+            f"repro.core.maximizer.{name} is deprecated; use the "
+            "capability flags on repro.algorithms.registry.algorithm_info() "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        flag = "model_aware" if name == "_MODEL_AWARE_ALGORITHMS" else "objective_aware"
+        return frozenset(
+            key
+            for key, info in _REGISTRY.items()
+            if getattr(info, flag) and info.supported_models is None
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -120,18 +142,24 @@ class InfluenceMaximizer:
                 )
             return algorithm
         name = str(algorithm).lower()
+        info = algorithm_info(name)
         options = dict(options)
-        if name in _MODEL_AWARE_ALGORITHMS and "model" not in options:
-            options["model"] = self.problem.model
-        if name in _OBJECTIVE_AWARE_ALGORITHMS and "objective" not in options:
-            options["objective"] = self.problem.objective
-        if name in ("greedy", "celf", "celf++", "modified-greedy"):
-            options.setdefault("penalty", getattr(self.problem, "penalty", 1.0))
-        if name == "tim+" or name == "imm":
-            # RIS algorithms only understand the opinion-oblivious first layer.
+        if info.model_aware and "model" not in options:
             model_name = self.problem.model_name
-            options.setdefault(
-                "model", "lt" if model_name.endswith("lt") else
-                ("wc" if model_name.endswith("wc") else "ic")
-            )
+            if info.supported_models is None:
+                options["model"] = self.problem.model
+            elif model_name in info.supported_models:
+                # Restricted algorithms (the RIS family) take model *names*,
+                # not model instances.
+                options["model"] = model_name
+            elif info.base_model_fallback:
+                # RIS algorithms only understand the opinion-oblivious first
+                # layer; hand them the model's ic/wc/lt base layer.
+                options["model"] = base_model_layer(model_name)
+            else:
+                check_model_support(name, model_name)
+        if info.objective_aware and "objective" not in options:
+            options["objective"] = self.problem.objective
+        if info.penalty_aware:
+            options.setdefault("penalty", getattr(self.problem, "penalty", 1.0))
         return get_algorithm(name, **options)

@@ -79,6 +79,19 @@ class IndexMismatchError(ServingError):
     """
 
 
+class SpecError(ConfigurationError):
+    """Raised when a declarative experiment spec fails validation.
+
+    Messages are schema-style: they lead with the dotted path of the
+    offending field (``experiment.graph.scale: must be > 0, got -1``) so a
+    spec author can locate the problem in a JSON document directly.
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        super().__init__(f"{path}: {message}")
+        self.path = path
+
+
 class BudgetError(ConfigurationError):
     """Raised when the seed budget ``k`` is not satisfiable for the graph."""
 
