@@ -216,6 +216,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--capacity", type=int, default=8,
         help="maximum resident indexes before LRU eviction",
     )
+    serve_parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request deadline in milliseconds; a request that "
+        "cannot finish in budget fails fast with DeadlineExceeded (or "
+        "degrades, see --degraded-ok) instead of hanging",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=None,
+        help="admission limit: with more than this many requests in flight, "
+        "new requests are shed with ServiceOverloadedError",
+    )
+    serve_parser.add_argument(
+        "--degraded-ok", action="store_true",
+        help="answer from the cheap degree-heuristic / cached-spread "
+        "fallback (marked degraded:true with a reason) when an index is "
+        "unavailable, instead of erroring",
+    )
     return parser
 
 
@@ -515,10 +532,14 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     Requests: ``{"op": "select", "k": 10}``, ``{"op": "evaluate",
     "seeds": [..]}``, ``{"op": "sweep", "counts": [..]}``, ``{"op":
-    "stats"}``, ``{"op": "ping"}`` and ``{"op": "shutdown"}``.  Any request
-    may carry ``"model"`` to override the CLI default.  Responses carry
-    ``"ok"`` plus either the result fields or an ``"error"`` message, so a
-    client never has to parse log text.
+    "reload", "artifact": "path"}`` (hot-swap a re-persisted artifact),
+    ``{"op": "stats"}``, ``{"op": "ping"}`` and ``{"op": "shutdown"}``.
+    Any request may carry ``"model"`` to override the CLI default, and
+    ``"deadline_ms"`` / ``"degraded_ok"`` to override the serve-level
+    fault-tolerance flags.  Responses carry ``"ok"`` plus either the
+    result fields or an ``"error"`` message, so a client never has to
+    parse log text; degraded answers additionally carry ``"degraded":
+    true`` and a ``"degraded_reason"``.
 
     The wire protocol is intentionally smaller than the ``repro/run-result@1``
     payload: the service coalesces concurrent evaluates into batched
@@ -535,6 +556,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         capacity=args.capacity,
         default_theta=args.theta,
         engine_seed=args.engine_seed,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.deadline_ms,
     )
     default_model = args.model
     for artifact in args.artifact:
@@ -553,19 +576,34 @@ def _command_serve(args: argparse.Namespace) -> int:
                 raise ConfigurationError("request must be a JSON object")
             op = request.get("op")
             model = request.get("model", default_model)
+            deadline_ms = request.get("deadline_ms")
+            if deadline_ms is not None:
+                deadline_ms = float(deadline_ms)
+            degraded_ok = bool(request.get("degraded_ok", args.degraded_ok))
             if op == "ping":
                 response = {"ok": True, "op": "ping"}
             elif op == "stats":
                 response = {"ok": True, "op": "stats", **_jsonable(service.stats())}
             elif op == "select":
-                selection = service.select(graph, model, int(request["k"]))
+                selection = service.select(
+                    graph,
+                    model,
+                    int(request["k"]),
+                    deadline_ms=deadline_ms,
+                    degraded_ok=degraded_ok,
+                )
                 response = {
                     "ok": True,
                     "op": "select",
                     "seeds": [str(s) for s in selection.seeds],
                     "estimated_spread": round(selection.estimated_spread, 3),
                     "theta": selection.theta,
+                    "degraded": bool(selection.extras.get("degraded", False)),
                 }
+                if response["degraded"]:
+                    response["degraded_reason"] = selection.extras.get(
+                        "degraded_reason"
+                    )
             elif op == "evaluate":
                 seeds = request["seeds"]
                 if isinstance(seeds, str):
@@ -574,20 +612,46 @@ def _command_serve(args: argparse.Namespace) -> int:
                     # Our own select responses carry seeds as JSON strings;
                     # coerce element-wise so they round-trip into evaluate.
                     seeds = [_coerce_seed(s) for s in seeds]
-                spread = service.evaluate(graph, model, seeds)
+                spread = service.evaluate(
+                    graph,
+                    model,
+                    seeds,
+                    deadline_ms=deadline_ms,
+                    degraded_ok=degraded_ok,
+                )
                 response = {
                     "ok": True,
                     "op": "evaluate",
                     "estimated_spread": round(spread, 3),
+                    "degraded": bool(getattr(spread, "degraded", False)),
                 }
+                if response["degraded"]:
+                    response["degraded_reason"] = spread.reason
             elif op == "sweep":
                 curve = service.sweep(
-                    graph, model, [int(k) for k in request["counts"]]
+                    graph,
+                    model,
+                    [int(k) for k in request["counts"]],
+                    deadline_ms=deadline_ms,
+                    degraded_ok=degraded_ok,
                 )
                 response = {
                     "ok": True,
                     "op": "sweep",
                     "curve": {str(k): round(v, 3) for k, v in curve.items()},
+                    "degraded": bool(getattr(curve, "degraded", False)),
+                }
+                if response["degraded"]:
+                    response["degraded_reason"] = curve.reason
+            elif op == "reload":
+                swapped = service.hot_swap(str(request["artifact"]), graph)
+                default_model = swapped.model
+                response = {
+                    "ok": True,
+                    "op": "reload",
+                    "model": swapped.model,
+                    "theta": swapped.theta,
+                    "fingerprint": swapped.fingerprint[:12],
                 }
             elif op == "shutdown":
                 print(json.dumps({"ok": True, "op": "shutdown"}), flush=True)

@@ -29,6 +29,7 @@ to an ordinary in-memory ``np.load``.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import io
 import json
 import os
@@ -41,7 +42,8 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 import repro
-from repro.exceptions import IndexArtifactError
+from repro.exceptions import ArtifactCorruptError, IndexArtifactError
+from repro.serving import faults
 from repro.sketches.collection import RRSetCollection
 
 ARTIFACT_FORMAT = "repro-influence-index"
@@ -60,6 +62,52 @@ _REQUIRED_METADATA_KEYS = (
 _LOCAL_HEADER = struct.Struct("<4s2xHH16xHH")
 _LOCAL_MAGIC = b"PK\x03\x04"
 
+
+
+#: Remediation hint appended to low-level load failures so a serve operator
+#: (or client) sees what to do, not a raw zipfile/numpy traceback.
+_REMEDIATION = (
+    "the file is truncated or was not written by save_index_artifact; "
+    "restore it from a backup or rebuild it with `repro index build`"
+)
+
+
+def payload_checksum(arrays: Dict[str, np.ndarray]) -> str:
+    """sha256 over the artifact's array payload, in a canonical encoding.
+
+    Each array contributes its name, dtype, shape and raw C-order bytes, in
+    sorted-name order — so the digest is independent of memory layout and
+    of whether the arrays come back memory-mapped or eagerly loaded.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(
+            f"{name}:{array.dtype.str}:{array.shape}".encode("ascii")
+        )
+        digest.update(array.data)
+    return digest.hexdigest()
+
+
+def quarantine_artifact(path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Rename a corrupt artifact out of the way (``<name>.corrupt[.N]``).
+
+    The file is preserved for post-mortem, never deleted; the original path
+    becomes free for a rebuilt artifact.  Returns the quarantine path.
+    """
+    path = pathlib.Path(path)
+    target = path.with_name(path.name + ".corrupt")
+    counter = 0
+    while target.exists():
+        counter += 1
+        target = path.with_name(f"{path.name}.corrupt.{counter}")
+    try:
+        os.replace(path, target)
+    except OSError as error:
+        raise IndexArtifactError(
+            f"could not quarantine corrupt artifact {path}: {error}"
+        )
+    return target
 
 
 @dataclass
@@ -138,6 +186,18 @@ def save_index_artifact(
             f"metadata theta={metadata.get('theta')} disagrees with the "
             f"collection's {collection.num_sets} sets"
         )
+    node_indptr, node_sets = collection.inverted_index()
+    payload = {
+        "members": np.ascontiguousarray(collection.members, dtype=np.int64),
+        "indptr": np.ascontiguousarray(collection.indptr, dtype=np.int64),
+        "node_indptr": np.ascontiguousarray(node_indptr, dtype=np.int64),
+        "node_sets": np.ascontiguousarray(node_sets, dtype=np.int64),
+    }
+    # The checksum goes into the provenance record itself (not a sidecar
+    # file), so a bit-flipped payload is detected on load and the file can
+    # be quarantined instead of serving plausible-but-wrong spreads.
+    metadata = dict(metadata)
+    metadata["payload_sha256"] = payload_checksum(payload)
     meta_json = np.frombuffer(
         json.dumps(metadata, sort_keys=True).encode("utf-8"), dtype=np.uint8
     )
@@ -148,7 +208,6 @@ def save_index_artifact(
     # memory-maps (the replaced inode stays valid while mapped).  Writing
     # through an open handle also stops np.savez appending ".npz" to the
     # requested name.
-    node_indptr, node_sets = collection.inverted_index()
     # The temp file is opened with mode 0666 so the kernel applies the
     # process umask itself (mkstemp would pin 0600, leaving the artifact
     # unreadable to a serving daemon under another user; probing the umask
@@ -170,14 +229,14 @@ def save_index_artifact(
         )
     try:
         with os.fdopen(fd, "wb") as handle:
-            np.savez(
-                handle,
-                members=np.ascontiguousarray(collection.members, dtype=np.int64),
-                indptr=np.ascontiguousarray(collection.indptr, dtype=np.int64),
-                node_indptr=np.ascontiguousarray(node_indptr, dtype=np.int64),
-                node_sets=np.ascontiguousarray(node_sets, dtype=np.int64),
-                meta_json=meta_json,
-            )
+            np.savez(handle, meta_json=meta_json, **payload)
+            # Durability: flush + fsync *before* the rename.  os.replace is
+            # atomic for concurrent readers but says nothing about the
+            # order data and the rename reach the disk — a power loss after
+            # the rename could otherwise surface a zero-length
+            # "successfully written" artifact.
+            handle.flush()
+            os.fsync(handle.fileno())
         try:
             os.replace(tmp_name, path)
         except PermissionError as error:
@@ -188,6 +247,15 @@ def save_index_artifact(
                 f"on this platform; save to a new path or reopen the index "
                 f"with mmap=False first ({error})"
             )
+        # Make the rename itself durable: fsync the directory so the new
+        # directory entry survives a crash.  Best-effort — some platforms
+        # (Windows) refuse to open directories.
+        with contextlib.suppress(OSError):
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
     except BaseException:
         with contextlib.suppress(OSError):
             os.unlink(tmp_name)
@@ -281,15 +349,29 @@ def _decode_metadata(raw: np.ndarray) -> Dict[str, object]:
 
 
 def load_index_artifact(
-    path: Union[str, pathlib.Path], mmap: bool = True
+    path: Union[str, pathlib.Path],
+    mmap: bool = True,
+    *,
+    verify_checksum: bool = True,
 ) -> IndexArtifact:
     """Load an artifact, memory-mapping the CSR arrays when possible.
 
     The metadata member is always read eagerly (it is tiny and gates
     validation); ``members``/``indptr`` come back as read-only ``np.memmap``
     views unless ``mmap`` is disabled or the file layout prevents mapping.
+
+    When the provenance record carries a ``payload_sha256`` (every artifact
+    written since the checksum was introduced does) the payload is re-hashed
+    and compared; a mismatch raises
+    :class:`~repro.exceptions.ArtifactCorruptError` so the serving layer can
+    quarantine the file and rebuild.  Verification reads the whole payload —
+    pass ``verify_checksum=False`` to keep a memory-mapped open fully lazy
+    when the file is trusted (e.g. just written by this process).
     """
     path = pathlib.Path(path)
+    # Fault-injection site: a chaos plan may raise a transient OSError
+    # (dead disk) or sleep (slow disk) here, before any real IO happens.
+    faults.trigger(faults.SITE_ARTIFACT_READ, context=str(path))
     if not path.exists():
         raise IndexArtifactError(f"artifact {path} does not exist")
     try:
@@ -308,7 +390,17 @@ def load_index_artifact(
                     io.BytesIO(member.read()), allow_pickle=False
                 )
     except zipfile.BadZipFile as error:
-        raise IndexArtifactError(f"artifact {path} is not a valid npz: {error}")
+        raise IndexArtifactError(
+            f"artifact {path} is not a valid npz ({error}); {_REMEDIATION}"
+        )
+    except (ValueError, EOFError, struct.error) as error:
+        # Truncated zip members and bad/foreign npy headers surface as raw
+        # ValueError/EOFError from numpy's format reader — wrap them so
+        # serve clients get the path and a remediation hint instead of a
+        # leaked internal exception.
+        raise IndexArtifactError(
+            f"artifact {path} is unreadable ({error}); {_REMEDIATION}"
+        )
     metadata = _decode_metadata(meta_raw)
 
     optional_present = tuple(
@@ -326,11 +418,34 @@ def load_index_artifact(
     else:
         mapped = False
     if not mapped:
-        with np.load(path, allow_pickle=False) as bundle:
-            arrays = {
-                name: np.array(bundle[name])
-                for name in _ARRAY_NAMES + optional_present
-            }
+        try:
+            with np.load(path, allow_pickle=False) as bundle:
+                arrays = {
+                    name: np.array(bundle[name])
+                    for name in _ARRAY_NAMES + optional_present
+                }
+        except (ValueError, EOFError, KeyError, struct.error,
+                zipfile.BadZipFile) as error:
+            raise IndexArtifactError(
+                f"artifact {path} is unreadable ({error}); {_REMEDIATION}"
+            )
+
+    stored_digest = metadata.get("payload_sha256")
+    if verify_checksum and stored_digest is not None:
+        actual_digest = payload_checksum(arrays)
+        # Fault-injection site: a "corrupt" rule simulates bit-rot in the
+        # payload without destroying the file on disk.
+        if faults.trigger(
+            faults.SITE_ARTIFACT_PAYLOAD, context=str(path)
+        ) == faults.CORRUPT:
+            actual_digest = "<injected-corruption>"
+        if actual_digest != stored_digest:
+            raise ArtifactCorruptError(
+                path,
+                f"payload sha256 {actual_digest[:12]}… does not match the "
+                f"recorded {str(stored_digest)[:12]}…",
+                metadata=metadata,
+            )
 
     members, indptr = arrays["members"], arrays["indptr"]
     # Integer dtypes only: float arrays would pass the boundary checks via

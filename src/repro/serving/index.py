@@ -44,12 +44,14 @@ from repro.exceptions import (
 )
 from repro.graphs.digraph import CompiledGraph, DiGraph, Node
 from repro.graphs.fingerprint import graph_fingerprint
+from repro.serving import faults
 from repro.serving.artifact import (
     IndexArtifact,
     build_metadata,
     load_index_artifact,
     save_index_artifact,
 )
+from repro.serving.resilience import Deadline
 from repro.sketches.collection import RRSetCollection
 from repro.sketches.coverage import greedy_max_coverage, pad_with_unselected
 from repro.sketches.sampler import SUPPORTED_MODELS, BatchRRSampler
@@ -129,11 +131,15 @@ class InfluenceIndex:
         *,
         engine_seed: int = 0,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        deadline: Optional[Deadline] = None,
     ) -> "InfluenceIndex":
         """Sample ``theta`` RR sets under ``model`` and wrap them as an index.
 
         ``engine_seed`` must be an integer (not a live generator) because it
         is persisted with the artifact and replayed by :meth:`grow`.
+        A ``deadline`` bounds the sampling loop: expiry between blocks
+        raises :class:`~repro.exceptions.DeadlineExceeded` (the partial
+        index is discarded — the token stream makes a re-build identical).
         """
         if not isinstance(engine_seed, (int, np.integer)):
             raise ConfigurationError(
@@ -151,7 +157,7 @@ class InfluenceIndex:
             block_size=block_size,
         )
         if theta:
-            index.grow(theta)
+            index.grow(theta, deadline=deadline)
         return index
 
     @classmethod
@@ -195,9 +201,15 @@ class InfluenceIndex:
         graph: Union[DiGraph, CompiledGraph],
         *,
         mmap: bool = True,
+        verify_checksum: bool = True,
     ) -> "InfluenceIndex":
         """Reopen a persisted index artifact for ``graph`` (mmap by default)."""
-        return cls.from_artifact(load_index_artifact(path, mmap=mmap), graph)
+        return cls.from_artifact(
+            load_index_artifact(
+                path, mmap=mmap, verify_checksum=verify_checksum
+            ),
+            graph,
+        )
 
     # ------------------------------------------------------------- persistence
 
@@ -229,13 +241,22 @@ class InfluenceIndex:
 
     # ------------------------------------------------------------------ growth
 
-    def grow(self, theta: int) -> "InfluenceIndex":
+    def grow(
+        self, theta: int, *, deadline: Optional[Deadline] = None
+    ) -> "InfluenceIndex":
         """Grow the stored collection to ``theta`` RR sets (no-op if smaller).
 
         Equivalent, bit-for-bit, to having built the index at ``theta`` in
         the first place — see the module docstring for why.  Invalidates the
         selection cache; re-persist with :meth:`save` to keep the artifact
         in sync.
+
+        A ``deadline`` is checked between sampler blocks — the natural
+        yield points of the grow loop — so a too-slow build raises
+        :class:`~repro.exceptions.DeadlineExceeded` within one block's work
+        instead of hanging the caller.  The appended blocks before expiry
+        are kept (the collection is simply shorter than requested), and a
+        later grow resumes the token stream exactly.
         """
         if theta < 0:
             raise ConfigurationError(f"theta must be non-negative, got {theta}")
@@ -254,7 +275,21 @@ class InfluenceIndex:
             sampler = BatchRRSampler(self.graph, self.model)
             rng = np.random.default_rng(self.engine_seed)
             sampler.skip_tokens(rng, existing)
-            sampler.sample_into(rng, self.collection, theta, self.block_size)
+            # Same chunking as sampler.sample_into (block boundaries are
+            # what make growth block-size invariant), with a deadline check
+            # and a fault-injection site per block.
+            while self.collection.num_sets < theta:
+                if deadline is not None:
+                    deadline.check("sample")
+                faults.trigger(
+                    faults.SITE_BUILD,
+                    context=f"{self.model} theta={self.collection.num_sets}",
+                )
+                block = min(
+                    self.block_size, theta - self.collection.num_sets
+                )
+                members, indptr, _ = sampler.sample(rng, block)
+                self.collection.append(members, indptr)
             self._selection_cache.clear()
             # Consolidation copies the mapped arrays into memory, so the
             # grown index is fully resident whatever its origin.
@@ -263,8 +298,15 @@ class InfluenceIndex:
 
     # ----------------------------------------------------------------- queries
 
-    def select(self, budget: int) -> IndexSelection:
-        """Warm seed selection: greedy max coverage over the stored sets."""
+    def select(
+        self, budget: int, *, deadline: Optional[Deadline] = None
+    ) -> IndexSelection:
+        """Warm seed selection: greedy max coverage over the stored sets.
+
+        The cover pass itself is one vectorized sweep; the ``deadline`` is
+        checked on entry (after the cheap cache probe), so an
+        already-expired budget never starts the pass.
+        """
         if budget < 0:
             raise ConfigurationError(f"budget must be non-negative, got {budget}")
         if budget > self.graph.number_of_nodes:
@@ -273,6 +315,8 @@ class InfluenceIndex:
             cached = self._selection_cache.get(budget)
             if cached is not None:
                 return cached
+            if deadline is not None:
+                deadline.check("select")
             covering, covered_fraction = greedy_max_coverage(
                 self.collection, budget
             )
@@ -317,7 +361,10 @@ class InfluenceIndex:
         )
 
     def _estimate_spreads_indices(
-        self, index_sets: Sequence[Sequence[int]]
+        self,
+        index_sets: Sequence[Sequence[int]],
+        *,
+        deadline: Optional[Deadline] = None,
     ) -> List[float]:
         """Batched oracle over compiled node indices, serialised vs growth.
 
@@ -325,6 +372,8 @@ class InfluenceIndex:
         same lock :meth:`grow` mutates the collection under.
         """
         with self._lock:
+            if deadline is not None:
+                deadline.check("evaluate")
             return [
                 float(v) for v in self.collection.estimated_spreads(index_sets)
             ]
