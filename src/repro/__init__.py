@@ -40,12 +40,19 @@ from repro.exceptions import (
     BudgetError,
     ConfigurationError,
     DatasetError,
+    GraphConstructionError,
     GraphError,
     IndexArtifactError,
     IndexMismatchError,
+    LifecycleError,
+    LintError,
+    LockOrderError,
     MissingAnnotationError,
     ReproError,
+    RNGError,
     ServingError,
+    SketchError,
+    SketchIndexError,
     SpecError,
 )
 from repro.graphs import (
@@ -123,7 +130,14 @@ __all__ = [
     # exceptions
     "ReproError",
     "GraphError",
+    "GraphConstructionError",
     "ConfigurationError",
+    "RNGError",
+    "LifecycleError",
+    "LintError",
+    "LockOrderError",
+    "SketchError",
+    "SketchIndexError",
     "MissingAnnotationError",
     "DatasetError",
     "AlgorithmError",

@@ -14,7 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, ConfigurationError
 from repro.graphs.digraph import CompiledGraph, DiGraph, Node
 from repro.utils.validation import check_budget
 
@@ -50,7 +50,7 @@ class SeedSelectionResult:
     def prefix(self, k: int) -> List[Node]:
         """The first ``k`` selected seeds (for k-sweep evaluation)."""
         if k < 0 or k > len(self.seeds):
-            raise ValueError(f"k must be in 0..{len(self.seeds)}, got {k}")
+            raise ConfigurationError(f"k must be in 0..{len(self.seeds)}, got {k}")
         return self.seeds[:k]
 
     def __len__(self) -> int:

@@ -46,7 +46,7 @@ def otimes(left: np.ndarray, right: np.ndarray) -> np.ndarray:
     being summed, which keeps every entry a probability.
     """
     if left.shape[1] != right.shape[0]:
-        raise ValueError(
+        raise ConfigurationError(
             f"inner dimensions do not match: {left.shape} vs {right.shape}"
         )
     result = np.empty((left.shape[0], right.shape[1]), dtype=np.float64)

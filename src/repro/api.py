@@ -41,7 +41,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Union, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -62,6 +73,9 @@ from repro.specs import (
     EstimatorSpec,
     ExperimentSpec,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only for annotations
+    from repro.scoring import ScoreEngine
 
 #: Schema identifier stamped on every serialised :class:`RunResult`.
 RESULT_SCHEMA = "repro/run-result@1"
@@ -363,7 +377,7 @@ class ScoreEstimator:
         self._cache_key: Optional[tuple] = None
         self._cache_totals: List[float] = [0.0]
 
-    def _engine(self):
+    def _engine(self) -> "ScoreEngine":
         from repro.scoring import ScoreEngine
 
         return ScoreEngine(
@@ -574,7 +588,7 @@ def build_selector(
 # ------------------------------------------------------------------- RunResult
 
 
-def _round_floats(value, digits: int = 4):
+def _round_floats(value: object, digits: int = 4) -> object:
     if isinstance(value, float):
         return round(value, digits)
     if isinstance(value, dict):
@@ -584,7 +598,7 @@ def _round_floats(value, digits: int = 4):
     return value
 
 
-def jsonable(value):
+def jsonable(value: object) -> object:
     """Best-effort conversion of metadata values to JSON-encodable types.
 
     Public shared infrastructure: :class:`RunResult` payloads and the CLI's
@@ -632,7 +646,7 @@ class RunResult:
     extras: Dict[str, object] = field(default_factory=dict)
     spec: Optional[ExperimentSpec] = None
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator:
         return iter(self.seeds)
 
     def __len__(self) -> int:

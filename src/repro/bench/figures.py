@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.core.evaluation import SeedSetEvaluation
+from repro.exceptions import ConfigurationError
 
 Point = Tuple[float, float]
 
@@ -60,7 +61,7 @@ def ascii_chart(
         Plot-area size in characters (axes and legend are added around it).
     """
     if width < 10 or height < 4:
-        raise ValueError("width must be >= 10 and height >= 4")
+        raise ConfigurationError("width must be >= 10 and height >= 4")
     all_points = [point for points in series.values() for point in points]
     if not all_points:
         return f"{title}\n(no data)" if title else "(no data)"

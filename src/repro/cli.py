@@ -233,6 +233,34 @@ def build_parser() -> argparse.ArgumentParser:
         "fallback (marked degraded:true with a reason) when an index is "
         "unavailable, instead of erroring",
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the project invariant linter (repro.devtools) over source "
+        "trees",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline JSON of known violations; only *new* findings fail "
+        "(and stale entries are reported so paid-down debt gets removed)",
+    )
+    lint_parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline FILE from this run's findings and exit 0",
+    )
+    lint_parser.add_argument(
+        "--rules", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    lint_parser.add_argument("--json", action="store_true")
     return parser
 
 
@@ -666,6 +694,58 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the devtools framework is stdlib-only, but keeping it
+    # out of module scope means `repro select` never pays for it at all.
+    import pathlib
+
+    from repro import devtools
+
+    if args.list_rules:
+        rules = devtools.all_rules()
+        if args.json:
+            print(json.dumps([
+                {"code": rule.code, "name": rule.name, "summary": rule.summary}
+                for rule in rules
+            ], indent=2))
+        else:
+            for rule in rules:
+                print(f"{rule.code}  {rule.name:22s} {rule.summary}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [
+            devtools.get_rule(code.strip())
+            for code in args.rules.split(",")
+            if code.strip()
+        ]
+    paths = [pathlib.Path(path) for path in args.paths]
+    root = pathlib.Path.cwd()
+
+    if args.update_baseline:
+        if not args.baseline:
+            raise ConfigurationError("--update-baseline requires --baseline FILE")
+        report = devtools.run_lint(paths, root=root, rules=rules)
+        devtools.Baseline.from_findings(report.findings).save(
+            pathlib.Path(args.baseline)
+        )
+        print(
+            f"baseline {args.baseline} updated: "
+            f"{len(report.findings)} finding(s) recorded"
+        )
+        return 0
+
+    baseline = (
+        devtools.Baseline.load(pathlib.Path(args.baseline))
+        if args.baseline
+        else None
+    )
+    report = devtools.run_lint(paths, root=root, rules=rules, baseline=baseline)
+    print(devtools.render_json(report) if args.json else devtools.render_text(report))
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -677,6 +757,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiments": _command_experiments,
         "index": _command_index,
         "serve": _command_serve,
+        "lint": _command_lint,
     }
     return handlers[args.command](args)
 

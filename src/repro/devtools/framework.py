@@ -1,0 +1,443 @@
+"""AST-based invariant linter: rule registry, suppressions, baseline, reporters.
+
+The library's headline guarantee — bit-for-bit deterministic seed sets
+across every backend — rests on a handful of project-wide invariants
+(all randomness flows through :mod:`repro.utils.rng` tokens, no wall
+clock in deterministic paths, one exception taxonomy, a declared lock
+hierarchy in the serving layer).  Tests exercise those invariants only
+on the paths they happen to cover; this module makes them machine
+checked on every file of ``src/``.
+
+Pieces:
+
+* :class:`Rule` — one invariant, implemented as a visitor over a parsed
+  module; registered via :func:`register` under a stable ``REPxxx`` code.
+* :class:`Finding` — one violation, with a stable fingerprint used for
+  baseline matching (rule, path, message — line numbers are allowed to
+  drift without invalidating the baseline).
+* ``# repro: noqa[REP001]`` — per-line, per-rule suppression.  Bare
+  ``# repro: noqa`` is deliberately not supported: every suppression
+  names the rule it silences.
+* :class:`Baseline` — a committed JSON file of known debt so adopting a
+  new rule never blocks CI; the goal state (and the current state of
+  this repository) is an **empty** baseline.
+* :func:`run_lint` + :func:`render_text`/:func:`render_json` — driver
+  and reporters for the ``repro lint`` CLI and the CI job.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import pathlib
+import re
+import tokenize
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Type
+
+from repro.exceptions import LintError
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "iter_source_files",
+    "register",
+    "render_json",
+    "render_text",
+    "run_lint",
+]
+
+#: Suppression comments look like ``# repro: noqa[REP001]`` or
+#: ``# repro: noqa[REP001,REP004]``.  The rule list is mandatory.
+_NOQA_PATTERN = re.compile(r"#\s*repro:\s*noqa\[(?P<codes>[^\]]*)\]")
+
+_CODE_PATTERN = re.compile(r"^REP\d{3}$")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific location.
+
+    ``fingerprint`` intentionally omits the line number so that unrelated
+    edits moving code around do not churn a committed baseline; two
+    identical messages in one file are disambiguated by the reporter, not
+    the fingerprint (the baseline stores a count per fingerprint).
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class ModuleContext:
+    """A parsed source module handed to every rule.
+
+    ``relpath`` is the path relative to the lint root (stable across
+    machines, used in findings and baselines); ``dotted`` is the module's
+    import path when it lives under a package root (``repro.utils.rng``),
+    used by rules that scope themselves to parts of the package.
+    """
+
+    def __init__(self, path: pathlib.Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.dotted = _dotted_name(relpath)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether the module is (inside) any of the dotted ``prefixes``."""
+        for prefix in prefixes:
+            if self.dotted == prefix or self.dotted.startswith(prefix + "."):
+                return True
+        return False
+
+
+def _dotted_name(relpath: str) -> str:
+    parts = pathlib.PurePosixPath(relpath.replace("\\", "/")).parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return ""
+    last = parts[-1]
+    if last.endswith(".py"):
+        last = last[:-3]
+    if last == "__init__":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + (last,)
+    return ".".join(parts)
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``code`` (stable ``REPxxx`` identifier), ``name`` (a
+    short kebab-case slug used in docs) and ``summary``, and implement
+    :meth:`check` yielding findings.  Registration is explicit via the
+    :func:`register` decorator so importing :mod:`repro.devtools.rules`
+    is what populates the registry.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``rule_class`` to the global registry."""
+    code = rule_class.code
+    if not _CODE_PATTERN.match(code):
+        raise LintError(f"rule code {code!r} does not match REPxxx")
+    if code in _REGISTRY and _REGISTRY[code] is not rule_class:
+        raise LintError(f"duplicate rule code {code!r}")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, in code order."""
+    _ensure_builtin_rules()
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    _ensure_builtin_rules()
+    try:
+        return _REGISTRY[code]()
+    except KeyError:
+        raise LintError(
+            f"unknown rule {code!r}; known rules: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def _ensure_builtin_rules() -> None:
+    # Importing the rules module triggers its @register decorators exactly
+    # once; done lazily so framework <-> rules is not an import cycle.
+    from repro.devtools import rules as _rules  # noqa: F401
+
+
+def iter_source_files(paths: Sequence[pathlib.Path]) -> Iterator[pathlib.Path]:
+    """Yield ``.py`` files under ``paths`` in deterministic sorted order."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        elif path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        else:
+            raise LintError(f"lint target {path} does not exist")
+
+
+def _suppressed_lines(source: str, path: pathlib.Path) -> Dict[int, set]:
+    """Map line number -> set of rule codes suppressed on that line.
+
+    Comments are found with :mod:`tokenize` (not a regex over raw lines)
+    so a ``# repro: noqa[...]`` inside a string literal does not suppress
+    anything.
+    """
+    suppressed: Dict[int, set] = {}
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_PATTERN.search(token.string)
+            if not match:
+                continue
+            codes = {
+                code.strip()
+                for code in match.group("codes").split(",")
+                if code.strip()
+            }
+            bad = [code for code in codes if not _CODE_PATTERN.match(code)]
+            if bad or not codes:
+                raise LintError(
+                    f"{path}:{token.start[0]}: malformed suppression "
+                    f"{token.string.strip()!r}: expected one or more REPxxx "
+                    f"codes, got {sorted(bad) or 'nothing'}"
+                )
+            suppressed.setdefault(token.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        # The AST parse will have raised a clearer error already; if it
+        # parsed, a trailing tokenizer hiccup should not kill the lint run.
+        pass
+    return suppressed
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Outcome of one lint run: surviving findings plus bookkeeping."""
+
+    findings: List[Finding]
+    files_checked: int
+    suppressed: int
+    baselined: int
+    stale_baseline: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.stale_baseline
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+class Baseline:
+    """Committed record of known violations, matched by fingerprint count.
+
+    The file format is trivially diffable JSON::
+
+        {"version": 1, "findings": {"<fingerprint>": <count>, ...}}
+
+    A finding whose fingerprint is in the baseline (up to its count) is
+    reported as *baselined*, not failing; baseline entries that no longer
+    match anything are reported as *stale* so paid-down debt is removed
+    from the file instead of lingering.
+    """
+
+    VERSION = 1
+
+    def __init__(self, counts: Optional[Mapping[str, int]] = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise LintError(
+                f"baseline file {path} does not exist; create one with "
+                "`repro lint --update-baseline`"
+            ) from None
+        except json.JSONDecodeError as error:
+            raise LintError(f"baseline file {path} is not valid JSON: {error}") from error
+        if not isinstance(data, dict) or data.get("version") != cls.VERSION:
+            raise LintError(
+                f"baseline file {path} has unsupported format "
+                f"(expected version {cls.VERSION})"
+            )
+        findings = data.get("findings", {})
+        if not isinstance(findings, dict) or not all(
+            isinstance(count, int) and count > 0 for count in findings.values()
+        ):
+            raise LintError(
+                f"baseline file {path}: 'findings' must map fingerprints "
+                "to positive counts"
+            )
+        return cls(findings)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+        return cls(counts)
+
+    def save(self, path: pathlib.Path) -> None:
+        payload = {
+            "version": self.VERSION,
+            "findings": {key: self.counts[key] for key in sorted(self.counts)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int, List[str]]:
+        """Partition ``findings`` into (new, number_baselined, stale_keys)."""
+        budget = dict(self.counts)
+        new: List[Finding] = []
+        baselined = 0
+        for finding in findings:
+            remaining = budget.get(finding.fingerprint, 0)
+            if remaining > 0:
+                budget[finding.fingerprint] = remaining - 1
+                baselined += 1
+            else:
+                new.append(finding)
+        stale = sorted(key for key, count in budget.items() if count > 0)
+        return new, baselined, stale
+
+
+def lint_file(
+    path: pathlib.Path,
+    relpath: str,
+    rules: Sequence[Rule],
+) -> Tuple[List[Finding], int]:
+    """Lint one file; returns (surviving findings, suppressed count)."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        module = ModuleContext(path, relpath, source)
+    except SyntaxError as error:
+        raise LintError(f"{path}: cannot parse: {error}") from error
+    suppressed_map = _suppressed_lines(source, path)
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(module):
+            if finding.rule in suppressed_map.get(finding.line, ()):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def run_lint(
+    paths: Sequence[pathlib.Path],
+    *,
+    root: Optional[pathlib.Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with every registered rule."""
+    active = list(rules) if rules is not None else all_rules()
+    base = root or pathlib.Path.cwd()
+    findings: List[Finding] = []
+    suppressed = 0
+    files = 0
+    for path in iter_source_files([pathlib.Path(p) for p in paths]):
+        try:
+            relpath = str(path.resolve().relative_to(base.resolve()))
+        except ValueError:
+            relpath = str(path)
+        relpath = relpath.replace("\\", "/")
+        file_findings, file_suppressed = lint_file(path, relpath, active)
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+        files += 1
+    findings.sort()
+    if baseline is not None:
+        new, baselined, stale = baseline.split(findings)
+    else:
+        new, baselined, stale = findings, 0, []
+    return LintReport(
+        findings=new,
+        files_checked=files,
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+    )
+
+
+def render_text(report: LintReport) -> str:
+    """Human reporter: one ``path:line:col CODE message`` line per finding."""
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.column} "
+            f"{finding.rule} {finding.message}"
+        )
+    for key in report.stale_baseline:
+        lines.append(f"stale baseline entry (violation fixed — remove it): {key}")
+    counts = report.counts_by_rule()
+    if counts:
+        per_rule = ", ".join(f"{rule}={count}" for rule, count in sorted(counts.items()))
+        lines.append(f"found {len(report.findings)} new violation(s) ({per_rule})")
+    summary = (
+        f"checked {report.files_checked} file(s): "
+        f"{len(report.findings)} new, {report.baselined} baselined, "
+        f"{report.suppressed} suppressed"
+    )
+    lines.append(summary + (" — OK" if report.ok else ""))
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """JSON reporter for machine consumers (CI annotations, editors)."""
+    payload = {
+        "version": 1,
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "stale_baseline": list(report.stale_baseline),
+        "counts_by_rule": report.counts_by_rule(),
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,635 @@
+"""The project-specific lint rules enforced by ``repro lint``.
+
+Each rule guards one invariant the test suite can only check on the
+paths it happens to execute; see DESIGN.md ("Invariants and how they're
+enforced") for the rationale, suppression policy and lock hierarchy.
+
+Rule codes are stable and never reused:
+
+========  ======================  ==============================================
+Code      Name                    Invariant
+========  ======================  ==============================================
+REP001    rng-discipline          all randomness flows through repro.utils.rng
+REP002    no-wall-clock           deterministic code never reads the wall clock
+REP003    exception-taxonomy      every raise uses the repro.exceptions hierarchy
+REP004    no-swallowed-except     no bare/broad except that fails to re-raise
+REP005    csr-immutability        CompiledGraph CSR arrays mutate only in graphs/
+REP006    all-exports             __all__ present in packages, bound + complete
+REP007    lock-order              serving locks acquired in declared order
+REP008    no-print                library code never prints (CLI/bench excepted)
+========  ======================  ==============================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.framework import Finding, ModuleContext, Rule, register
+from repro.devtools.lockcheck import LOCK_HIERARCHY, STATIC_LOCK_MAP
+
+__all__ = [
+    "AllExportsRule",
+    "CsrImmutabilityRule",
+    "ExceptionTaxonomyRule",
+    "LockOrderRule",
+    "NoPrintRule",
+    "NoSwallowedExceptRule",
+    "NoWallClockRule",
+    "RngDisciplineRule",
+]
+
+
+def _attribute_chain(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains as a dotted string."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _imported_names(tree: ast.Module) -> Dict[str, str]:
+    """Map local alias -> fully qualified origin for every import."""
+    origins: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                origins[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name != "*":
+                    origins[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+    return origins
+
+
+@register
+class RngDisciplineRule(Rule):
+    """All randomness is created in :mod:`repro.utils.rng`, nowhere else.
+
+    Seed-set determinism across engines relies on every random draw being
+    derived from an explicit seed: a SplitMix64 counter token or a
+    :class:`numpy.random.Generator` threaded down from ``ensure_rng``.  A
+    naked ``np.random.*`` call (even a *seeded* ``default_rng`` — module
+    code must accept a Generator, not mint one) or a stdlib ``random.*``
+    call reintroduces hidden global state.  Type annotations mentioning
+    ``np.random.Generator`` are fine; only *calls* are flagged.
+    """
+
+    code = "REP001"
+    name = "rng-discipline"
+    summary = "no np.random.* / random.* calls outside repro.utils.rng"
+
+    ALLOWED_MODULES = ("repro.utils.rng",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.in_package(*self.ALLOWED_MODULES):
+            return
+        origins = _imported_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if chain is None:
+                continue
+            resolved = self._resolve(chain, origins)
+            if resolved is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"call to {resolved} — thread a Generator from "
+                "repro.utils.rng.ensure_rng (or a SplitMix64 token) instead",
+            )
+
+    @staticmethod
+    def _resolve(chain: str, origins: Dict[str, str]) -> Optional[str]:
+        head, _, rest = chain.partition(".")
+        origin = origins.get(head)
+        full = f"{origin}.{rest}" if origin and rest else (origin or chain)
+        if origin == "random" and rest:
+            return full
+        for banned in ("numpy.random.", "np.random."):
+            if full.startswith(banned) or chain.startswith(banned):
+                suffix = full.split("random.", 1)[1] if "random." in full else rest
+                # Generator appearing in a call position is construction from
+                # an explicit BitGenerator — still hidden-state-free, but all
+                # construction belongs in utils/rng, so it is banned too.
+                return "numpy.random." + suffix
+        if origin == "numpy.random." + chain.split(".")[-1] or (
+            origin is not None and origin.startswith("numpy.random.")
+        ):
+            return origin
+        return None
+
+
+@register
+class NoWallClockRule(Rule):
+    """Deterministic modules never read the wall clock.
+
+    Replayability of chaos runs and token streams requires monotonic or
+    injectable clocks (``time.monotonic``/``time.perf_counter`` or a
+    ``clock=`` parameter, as :mod:`repro.serving.resilience` does).
+    ``time.time`` and ``datetime.now`` silently couple results to the
+    machine's clock and break bit-for-bit replay.
+    """
+
+    code = "REP002"
+    name = "no-wall-clock"
+    summary = "no time.time()/datetime.now() — monotonic or injectable clocks only"
+
+    BANNED_TIME = {"time", "time_ns", "ctime", "localtime", "gmtime", "strftime"}
+    BANNED_DATETIME = {"now", "utcnow", "today", "fromtimestamp"}
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        origins = _imported_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if chain is None:
+                continue
+            banned = self._banned_call(chain, origins)
+            if banned is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"wall-clock read {banned}() — use time.monotonic/perf_counter "
+                "or an injectable clock parameter",
+            )
+
+    def _banned_call(
+        self, chain: str, origins: Dict[str, str]
+    ) -> Optional[str]:
+        parts = chain.split(".")
+        head, tail = parts[0], parts[-1]
+        origin = origins.get(head, head)
+        if len(parts) >= 2:
+            if origin == "time" and tail in self.BANNED_TIME:
+                return f"time.{tail}"
+            if origin in ("datetime", "datetime.datetime", "datetime.date"):
+                if tail in self.BANNED_DATETIME:
+                    return f"{origin}.{tail}"
+        else:
+            # `from time import time` / `from datetime import ...` aliases.
+            if origin == "time.time":
+                return "time.time"
+            if origin in ("datetime.datetime.now",):
+                return origin
+        return None
+
+
+@register
+class ExceptionTaxonomyRule(Rule):
+    """Every ``raise`` uses the :mod:`repro.exceptions` hierarchy.
+
+    Callers distinguish library failures from programming errors with one
+    ``except ReproError``; a stray ``raise ValueError`` punches a hole in
+    that contract.  ``NotImplementedError`` (abstract hooks) and
+    ``AssertionError`` (unreachable-code guards) stay allowed, as do
+    re-raises of caught exceptions.
+    """
+
+    code = "REP003"
+    name = "exception-taxonomy"
+    summary = "raise repro.exceptions types, not builtin exceptions"
+
+    BUILTIN_EXCEPTIONS = {
+        "ArithmeticError",
+        "AttributeError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "FileExistsError",
+        "FileNotFoundError",
+        "IOError",
+        "IndexError",
+        "InterruptedError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "NameError",
+        "OSError",
+        "OverflowError",
+        "PermissionError",
+        "RecursionError",
+        "ReferenceError",
+        "RuntimeError",
+        "StopAsyncIteration",
+        "StopIteration",
+        "SystemError",
+        "TimeoutError",
+        "TypeError",
+        "UnicodeDecodeError",
+        "UnicodeEncodeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        protocol_raises = self._protocol_raises(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = self._raised_builtin(node.exc)
+            if name is None:
+                continue
+            if name == "AttributeError" and node in protocol_raises:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"raise {name} — use (or add) a repro.exceptions subclass that "
+                f"keeps {name} as a base so existing callers still catch it",
+            )
+
+    @staticmethod
+    def _protocol_raises(tree: ast.Module) -> Set[ast.Raise]:
+        """``raise`` nodes inside ``__getattr__``/``__getattribute__``.
+
+        The attribute protocol *requires* AttributeError there (module
+        ``__getattr__`` deprecation shims rely on it for ``hasattr``), so
+        those raises are exempt from the taxonomy.
+        """
+        exempt: Set[ast.Raise] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+                node.name in ("__getattr__", "__getattribute__")
+            ):
+                for child in ast.walk(node):
+                    if isinstance(child, ast.Raise):
+                        exempt.add(child)
+        return exempt
+
+    def _raised_builtin(self, exc: ast.expr) -> Optional[str]:
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in self.BUILTIN_EXCEPTIONS:
+            return exc.id
+        return None
+
+
+@register
+class NoSwallowedExceptRule(Rule):
+    """No bare/broad ``except`` that fails to re-raise.
+
+    A handler catching ``Exception``/``BaseException`` (or everything)
+    may only do bookkeeping on the way out: its body must contain a
+    ``raise``.  Handlers that swallow broad exceptions hide real bugs —
+    the fault-injection suite only works because injected faults surface.
+    Deliberate swallows (e.g. a coalescing leader routing the error to
+    every parked waiter) carry a ``# repro: noqa[REP004]`` naming the
+    invariant they uphold instead.
+    """
+
+    code = "REP004"
+    name = "no-swallowed-except"
+    summary = "broad except handlers must re-raise (or carry a justification noqa)"
+
+    BROAD = {"Exception", "BaseException"}
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            label = self._broad_label(node.type)
+            if label is None:
+                continue
+            if any(isinstance(child, ast.Raise) for child in ast.walk(node)):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{label} swallows the exception — catch the specific types, "
+                "re-raise, or justify with a repro: noqa[REP004]",
+            )
+
+    def _broad_label(self, type_node: Optional[ast.expr]) -> Optional[str]:
+        if type_node is None:
+            return "bare except:"
+        names: List[ast.expr] = (
+            list(type_node.elts) if isinstance(type_node, ast.Tuple) else [type_node]
+        )
+        for name in names:
+            if isinstance(name, ast.Name) and name.id in self.BROAD:
+                return f"except {name.id}"
+        return None
+
+
+@register
+class CsrImmutabilityRule(Rule):
+    """CompiledGraph CSR arrays are written only inside ``repro.graphs``.
+
+    Compiled graphs are shared across threads, memory-mapped artifacts
+    and cached fingerprints; every consumer (engines, serving, scoring)
+    assumes they are frozen.  Any store into a CSR field — attribute
+    assignment, element assignment, augmented assignment or delete —
+    outside the graphs package is flagged.
+    """
+
+    code = "REP005"
+    name = "csr-immutability"
+    summary = "no writes to CompiledGraph CSR arrays outside repro.graphs"
+
+    CSR_FIELDS = {
+        "out_indptr",
+        "out_indices",
+        "out_probability",
+        "out_interaction",
+        "out_weight",
+        "in_indptr",
+        "in_indices",
+        "in_probability",
+        "in_interaction",
+        "in_weight",
+    }
+
+    ALLOWED_MODULES = ("repro.graphs",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.in_package(*self.ALLOWED_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                field = self._csr_field(target)
+                if field is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"write to CSR field .{field} outside repro.graphs — "
+                        "compiled graphs are immutable; build a new graph or "
+                        "add the derivation to repro.graphs",
+                    )
+
+    def _csr_field(self, target: ast.expr) -> Optional[str]:
+        # Unwrap element/slice stores: graph.out_probability[...] = x
+        while isinstance(target, (ast.Subscript, ast.Starred)):
+            target = target.value
+        if isinstance(target, ast.Attribute) and target.attr in self.CSR_FIELDS:
+            return target.attr
+        return None
+
+
+@register
+class AllExportsRule(Rule):
+    """``__all__`` is present in packages, bound, and covers the public API.
+
+    Three checks: every ``__init__.py`` declares ``__all__``; every name
+    listed in any module's ``__all__`` is actually bound in that module;
+    and (for ``__init__.py`` re-export surfaces) every public name
+    introduced by a ``from ... import`` is listed in ``__all__`` — a
+    re-export someone forgot to list is an API users cannot
+    ``from repro import *`` or discover in docs.
+    """
+
+    code = "REP006"
+    name = "all-exports"
+    summary = "__all__ present in __init__.py, entries bound, re-exports listed"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        is_init = module.path.name == "__init__.py"
+        declared = self._declared_all(module.tree)
+        if declared is None:
+            if is_init:
+                yield self.finding(
+                    module,
+                    module.tree,
+                    "package __init__.py must declare __all__ (the package's "
+                    "public API surface)",
+                )
+            return
+        node, names = declared
+        bound = self._bound_names(module.tree)
+        seen: Set[str] = set()
+        for name in names:
+            if name in seen:
+                yield self.finding(
+                    module, node, f"__all__ lists {name!r} more than once"
+                )
+            seen.add(name)
+            if name not in bound:
+                yield self.finding(
+                    module,
+                    node,
+                    f"__all__ entry {name!r} is not defined or imported in "
+                    "this module",
+                )
+        if is_init:
+            for public, public_node in self._public_reexports(module.tree):
+                if public not in seen:
+                    yield self.finding(
+                        module,
+                        public_node,
+                        f"public re-export {public!r} is missing from __all__",
+                    )
+
+    @staticmethod
+    def _declared_all(
+        tree: ast.Module,
+    ) -> Optional[Tuple[ast.stmt, List[str]]]:
+        for node in tree.body:
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target = node.target
+                value = node.value
+            else:
+                continue
+            if not (isinstance(target, ast.Name) and target.id == "__all__"):
+                continue
+            if not isinstance(value, (ast.List, ast.Tuple)):
+                return node, []
+            names = [
+                element.value
+                for element in value.elts
+                if isinstance(element, ast.Constant) and isinstance(element.value, str)
+            ]
+            return node, names
+        return None
+
+    @staticmethod
+    def _bound_names(tree: ast.Module) -> Set[str]:
+        bound: Set[str] = set()
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for name in ast.walk(target):
+                        if isinstance(name, ast.Name):
+                            bound.add(name.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.If, ast.Try)):
+                for child in ast.walk(node):
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    ):
+                        bound.add(child.name)
+                    elif isinstance(child, ast.Name) and isinstance(
+                        child.ctx, ast.Store
+                    ):
+                        bound.add(child.id)
+                    elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                        for alias in child.names:
+                            if alias.name != "*":
+                                bound.add(
+                                    (alias.asname or alias.name).split(".")[0]
+                                )
+        return bound
+
+    @staticmethod
+    def _public_reexports(tree: ast.Module) -> Iterator[Tuple[str, ast.stmt]]:
+        for node in tree.body:
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    name = alias.asname or alias.name
+                    if name != "*" and not name.startswith("_"):
+                        yield name, node
+
+
+@register
+class LockOrderRule(Rule):
+    """Serving-layer locks are acquired in the declared hierarchy order.
+
+    The hierarchy (outermost first) lives in
+    :data:`repro.devtools.lockcheck.LOCK_HIERARCHY`; this rule checks the
+    statically visible part — ``with`` statements nested inside one
+    function — and the runtime checker
+    (:class:`repro.devtools.lockcheck.LockOrderMonitor`) covers
+    acquisitions that cross function and thread boundaries during the
+    chaos suite.
+    """
+
+    code = "REP007"
+    name = "lock-order"
+    summary = "nested lock acquisitions must follow the declared serving hierarchy"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for function, class_name in self._functions(module.tree):
+            yield from self._check_function(module, function, class_name)
+
+    @staticmethod
+    def _functions(
+        tree: ast.Module,
+    ) -> Iterator[Tuple[ast.AST, Optional[str]]]:
+        class_of: Dict[ast.AST, Optional[str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    class_of[child] = node.name
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node, class_of.get(node)
+
+    def _check_function(
+        self, module: ModuleContext, function: ast.AST, class_name: Optional[str]
+    ) -> Iterator[Finding]:
+        yield from self._walk_withs(module, function, class_name, [])
+
+    def _walk_withs(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        class_name: Optional[str],
+        held: List[Tuple[int, str]],
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # fresh scope: a nested def is not a nested acquisition
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                acquired: List[Tuple[int, str]] = []
+                for item in child.items:
+                    rank = self._lock_rank(item.context_expr, class_name)
+                    if rank is None:
+                        continue
+                    level, label = rank
+                    for held_level, held_label in held + acquired:
+                        if level < held_level or (
+                            level == held_level and label != held_label
+                        ):
+                            yield self.finding(
+                                module,
+                                item.context_expr,
+                                f"acquires {label} while holding {held_label} — "
+                                "declared order is "
+                                + " -> ".join(LOCK_HIERARCHY),
+                            )
+                    acquired.append((level, label))
+                yield from self._walk_withs(
+                    module, child, class_name, held + acquired
+                )
+            else:
+                yield from self._walk_withs(module, child, class_name, held)
+
+    @staticmethod
+    def _lock_rank(
+        expr: ast.expr, class_name: Optional[str]
+    ) -> Optional[Tuple[int, str]]:
+        if isinstance(expr, ast.Name):
+            key = (None, expr.id)
+        elif isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            owner = class_name if expr.value.id == "self" else None
+            key = (owner, expr.attr)
+            if owner is None:
+                return None
+        else:
+            return None
+        return STATIC_LOCK_MAP.get(key)
+
+
+@register
+class NoPrintRule(Rule):
+    """Library code never prints; only the CLI and benches talk to stdout.
+
+    A ``print`` inside an engine corrupts machine-readable output (the
+    CLI's ``--json`` contract, the serve loop's JSON-lines protocol) and
+    is invisible in production logs.  Use the structured return values,
+    ``warnings.warn``, or route text through the CLI layer.
+    """
+
+    code = "REP008"
+    name = "no-print"
+    summary = "no print() outside repro.cli / repro.bench"
+
+    ALLOWED_MODULES = ("repro.cli", "repro.bench")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.in_package(*self.ALLOWED_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "print() in library code — return structured data or go "
+                    "through the CLI layer",
+                )

@@ -22,6 +22,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.graphs.digraph import CompiledGraph
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -222,7 +223,7 @@ class DiffusionModel(abc.ABC):
         operations (see :mod:`repro.diffusion.batch`).
         """
         if count < 0:
-            raise ValueError(f"count must be non-negative, got {count}")
+            raise ConfigurationError(f"count must be non-negative, got {count}")
         validated = validate_seed_indices(graph, seeds)
         n = graph.number_of_nodes
         active = np.zeros((count, n), dtype=bool)
@@ -250,7 +251,7 @@ def validate_seed_indices(graph: CompiledGraph, seeds: Sequence[int]) -> tuple[i
     for seed in seeds:
         index = int(seed)
         if not 0 <= index < n:
-            raise ValueError(f"seed index {index} is outside 0..{n - 1}")
+            raise ConfigurationError(f"seed index {index} is outside 0..{n - 1}")
         if index not in seen:
             seen.add(index)
             unique.append(index)

@@ -43,6 +43,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.diffusion.base import BatchOutcome, validate_seed_indices
+from repro.exceptions import ConfigurationError
 from repro.graphs.digraph import CompiledGraph
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -110,7 +111,7 @@ def _expand_csr(
 
 def _validate_count(count: int) -> int:
     if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
+        raise ConfigurationError(f"count must be non-negative, got {count}")
     return int(count)
 
 

@@ -17,6 +17,7 @@ worker processes the blocks are spread across.
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -29,6 +30,8 @@ from repro.diffusion.registry import get_model
 from repro.exceptions import ConfigurationError
 from repro.graphs.digraph import CompiledGraph, DiGraph, Node
 from repro.utils.rng import RandomState, ensure_rng
+
+_LOGGER = logging.getLogger(__name__)
 
 #: Upper bound on cascades advanced per vectorized batch.  Bounds the
 #: ``(count, n)`` state matrices — a kernel holds a handful of them (boolean
@@ -61,7 +64,7 @@ def _simulate_batch(
     paper runs its 10K Monte-Carlo simulations in parallel on 20 cores
     (Sec. 4, footnote 9) and this is the equivalent hook.
     """
-    rng = np.random.default_rng(batch_seed)
+    rng = ensure_rng(batch_seed)
     outcome = model.simulate_batch(graph, list(seeds), rng, count)
     return outcome.objectives(penalty)
 
@@ -283,8 +286,13 @@ class MonteCarloEngine:
     def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
         try:
             self.close()
-        except Exception:
-            pass
+        except (OSError, RuntimeError, TypeError) as error:
+            # Only the failures pool teardown is known to produce during
+            # interpreter shutdown (dead pipes, half-collected executor
+            # internals) are swallowed — and even those leave a trace.  A
+            # real bug in a third-party model's teardown now propagates
+            # instead of vanishing into a bare `except Exception`.
+            _LOGGER.debug("ignoring pool-shutdown failure in __del__: %s", error)
 
     # ------------------------------------------------------------- helpers
 

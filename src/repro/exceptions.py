@@ -33,8 +33,46 @@ class EdgeNotFoundError(GraphError, KeyError):
         self.target = target
 
 
+class GraphConstructionError(GraphError, ValueError):
+    """Raised when graph-building input (edge lists, CSR arrays) is malformed.
+
+    Keeps ``ValueError`` as a base because builder callers historically
+    caught that.
+    """
+
+
 class ConfigurationError(ReproError, ValueError):
     """Raised when a model, algorithm or problem receives invalid parameters."""
+
+
+class RNGError(ReproError, TypeError):
+    """Raised when a seed argument is not one of the accepted spellings.
+
+    ``TypeError`` stays a base: passing a float (or a foreign RNG object)
+    where ``None | int | numpy.random.Generator`` is expected is a typing
+    mistake, and callers may reasonably catch it as such.
+    """
+
+
+class LifecycleError(ReproError, RuntimeError):
+    """Raised when a stateful utility is used out of order.
+
+    Covers wrong-state transitions such as starting an already-running
+    timer or reading a measurement that has not finished; ``RuntimeError``
+    stays a base for existing callers.
+    """
+
+
+class SketchError(ReproError, ValueError):
+    """Raised for structural problems in an RR-sketch collection.
+
+    Malformed CSR membership arrays, inconsistent ``indptr`` boundaries
+    and the like; ``ValueError`` stays a base for existing callers.
+    """
+
+
+class SketchIndexError(ReproError, IndexError):
+    """Raised when an RR-set index is outside the collection's range."""
 
 
 class MissingAnnotationError(ReproError, KeyError):
@@ -163,6 +201,25 @@ class SpecError(ConfigurationError):
     def __init__(self, path: str, message: str) -> None:
         super().__init__(f"{path}: {message}")
         self.path = path
+
+
+class LintError(ReproError, RuntimeError):
+    """Raised by :mod:`repro.devtools` for unusable lint input.
+
+    Covers unparsable source, malformed ``# repro: noqa[...]`` comments,
+    bad baselines and unknown rule codes — *not* rule violations, which
+    are reported as findings, never exceptions.
+    """
+
+
+class LockOrderError(ReproError, RuntimeError):
+    """Raised when the runtime lock checker records an ordering violation.
+
+    The serving layer declares a total acquisition order
+    (:data:`repro.devtools.lockcheck.LOCK_HIERARCHY`); an edge against
+    that order, or any cycle in the recorded acquisition graph, is a
+    latent deadlock even if the run itself did not hang.
+    """
 
 
 class BudgetError(ConfigurationError):

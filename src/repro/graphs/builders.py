@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
+from repro.exceptions import GraphConstructionError
 from repro.graphs.digraph import (
     DEFAULT_INFLUENCE_PROBABILITY,
     DEFAULT_INTERACTION_PROBABILITY,
@@ -47,7 +48,7 @@ def from_edge_list(
         elif len(edge) == 3:
             source, target, p = edge  # type: ignore[misc]
         else:
-            raise ValueError(f"edges must be 2- or 3-tuples, got {edge!r}")
+            raise GraphConstructionError(f"edges must be 2- or 3-tuples, got {edge!r}")
         graph.add_edge(source, target, probability=p, interaction=interaction)
         if not directed:
             graph.add_edge(target, source, probability=p, interaction=interaction)

@@ -16,6 +16,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.graphs.digraph import DiGraph, Node
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -179,7 +180,7 @@ def is_dag(graph: DiGraph) -> bool:
 def degree_histogram(graph: DiGraph, direction: str = "out") -> dict[int, int]:
     """Histogram ``degree -> count`` over nodes for the chosen direction."""
     if direction not in ("out", "in"):
-        raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+        raise ConfigurationError(f"direction must be 'out' or 'in', got {direction!r}")
     histogram: dict[int, int] = {}
     for node in graph.nodes():
         degree = graph.out_degree(node) if direction == "out" else graph.in_degree(node)

@@ -53,6 +53,7 @@ from repro.serving.artifact import (
 )
 from repro.serving.resilience import Deadline
 from repro.sketches.collection import RRSetCollection
+from repro.utils.rng import ensure_rng
 from repro.sketches.coverage import greedy_max_coverage, pad_with_unselected
 from repro.sketches.sampler import SUPPORTED_MODELS, BatchRRSampler
 
@@ -273,7 +274,7 @@ class InfluenceIndex:
                     "grown == fresh guarantee — rebuild the index instead"
                 )
             sampler = BatchRRSampler(self.graph, self.model)
-            rng = np.random.default_rng(self.engine_seed)
+            rng = ensure_rng(self.engine_seed)
             sampler.skip_tokens(rng, existing)
             # Same chunking as sampler.sample_into (block boundaries are
             # what make growth block-size invariant), with a deadline check

@@ -33,7 +33,11 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type
 
-from repro.exceptions import CircuitOpenError, DeadlineExceeded
+from repro.exceptions import (
+    CircuitOpenError,
+    ConfigurationError,
+    DeadlineExceeded,
+)
 
 __all__ = [
     "CircuitBreaker",
@@ -80,7 +84,7 @@ class Deadline:
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if budget_seconds <= 0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"deadline budget must be positive, got {budget_seconds}"
             )
         self.budget_seconds = float(budget_seconds)
@@ -158,9 +162,9 @@ class RetryPolicy:
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
-            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+            raise ConfigurationError(f"attempts must be >= 1, got {self.attempts}")
         if not 0.0 <= self.jitter <= 1.0:
-            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+            raise ConfigurationError(f"jitter must be in [0, 1], got {self.jitter}")
 
     def delay(self, attempt: int) -> float:
         """Backoff before retry number ``attempt`` (0-based), in seconds."""
@@ -221,11 +225,11 @@ class CircuitBreaker:
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if failure_threshold < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"failure_threshold must be >= 1, got {failure_threshold}"
             )
         if reset_timeout <= 0:
-            raise ValueError(f"reset_timeout must be > 0, got {reset_timeout}")
+            raise ConfigurationError(f"reset_timeout must be > 0, got {reset_timeout}")
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self._clock = clock

@@ -874,7 +874,7 @@ class InfluenceService:
             spreads = index._estimate_spreads_indices(
                 [request.seeds for request in batch]
             )
-        except BaseException as error:  # propagate to every parked waiter
+        except BaseException as error:  # repro: noqa[REP004] — every waiter gets the error below
             for request in batch:
                 request.error = error
                 request.done = True

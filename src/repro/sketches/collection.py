@@ -15,6 +15,8 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.exceptions import SketchError, SketchIndexError
+
 _EMPTY = np.empty(0, dtype=np.int64)
 
 #: Member entries gathered per pass of the batched spread oracle; bounds the
@@ -34,7 +36,7 @@ class RRSetCollection:
 
     def __init__(self, n: int) -> None:
         if n < 0:
-            raise ValueError(f"n must be non-negative, got {n}")
+            raise SketchError(f"n must be non-negative, got {n}")
         self.n = int(n)
         self._member_blocks: List[np.ndarray] = []
         self._size_blocks: List[np.ndarray] = []
@@ -91,11 +93,11 @@ class RRSetCollection:
             indptr = np.asarray(indptr, dtype=np.int64)
         if validate:
             if indptr.ndim != 1 or indptr.size == 0:
-                raise ValueError("indptr must be a non-empty 1-d array")
+                raise SketchError("indptr must be a non-empty 1-d array")
             if int(indptr[0]) != 0 or int(indptr[-1]) != members.size:
-                raise ValueError("indptr must start at 0 and end at members.size")
+                raise SketchError("indptr must start at 0 and end at members.size")
             if np.any(np.diff(indptr) < 0):
-                raise ValueError("indptr must be non-decreasing")
+                raise SketchError("indptr must be non-decreasing")
         collection._members = members
         collection._indptr = indptr
         collection._num_sets = indptr.size - 1
@@ -105,7 +107,7 @@ class RRSetCollection:
             if node_indptr.size != n + 1 or node_sets.size != members.size or (
                 members.size and int(node_indptr[-1]) != members.size
             ):
-                raise ValueError(
+                raise SketchError(
                     "inverted index shape disagrees with the CSR arrays"
                 )
             collection._node_indptr = node_indptr
@@ -117,7 +119,7 @@ class RRSetCollection:
         members = np.asarray(members, dtype=np.int64)
         indptr = np.asarray(indptr, dtype=np.int64)
         if indptr.size == 0 or indptr[0] != 0 or indptr[-1] != members.size:
-            raise ValueError("indptr must start at 0 and end at members.size")
+            raise SketchError("indptr must start at 0 and end at members.size")
         sizes = np.diff(indptr)
         if sizes.size == 0:
             return
@@ -199,7 +201,7 @@ class RRSetCollection:
         """Members of set ``index`` in discovery order."""
         members, indptr = self.members, self.indptr
         if not 0 <= index < self.num_sets:
-            raise IndexError(f"set index {index} out of range 0..{self.num_sets - 1}")
+            raise SketchIndexError(f"set index {index} out of range 0..{self.num_sets - 1}")
         return members[indptr[index]:indptr[index + 1]]
 
     def as_lists(self) -> List[List[int]]:

@@ -21,6 +21,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.sketches.collection import RRSetCollection
 from repro.sketches.sampler import expand_csr_positions
 
@@ -35,7 +36,7 @@ def greedy_max_coverage(
     :func:`pad_with_unselected` to fill up a fixed-size seed set).
     """
     if budget < 0:
-        raise ValueError(f"budget must be non-negative, got {budget}")
+        raise ConfigurationError(f"budget must be non-negative, got {budget}")
     n = collection.n
     num_sets = collection.num_sets
     if num_sets == 0 or budget == 0:

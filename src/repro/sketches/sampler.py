@@ -258,7 +258,7 @@ class BatchRRSampler:
         """
         count = int(count)
         if count < 0:
-            raise ValueError(f"count must be non-negative, got {count}")
+            raise ConfigurationError(f"count must be non-negative, got {count}")
         if count == 0 or self.n == 0:
             return _EMPTY.copy(), np.zeros(count + 1, dtype=np.int64), _EMPTY.copy()
         tokens = self.draw_tokens(rng, count)
@@ -282,7 +282,7 @@ class BatchRRSampler:
         everywhere.
         """
         if block_size < 1:
-            raise ValueError(f"block_size must be >= 1, got {block_size}")
+            raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
         while collection.num_sets < target:
             block = min(block_size, target - collection.num_sets)
             members, indptr, _ = self.sample(rng, block)

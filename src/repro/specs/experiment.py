@@ -22,9 +22,25 @@ import dataclasses
 import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.exceptions import SpecError
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only for annotations
+    from repro.diffusion.base import DiffusionModel
+    from repro.graphs.digraph import DiGraph
+
+_S = TypeVar("_S", bound="_SpecBase")
 
 #: Canonical estimator backend identifiers, in documentation order.
 ESTIMATOR_BACKENDS = ("monte-carlo", "sketch", "index", "score")
@@ -62,7 +78,12 @@ def _reject_unknown(data: Mapping, known: Sequence[str], path: str) -> None:
         )
 
 
-def _require_type(value, types, path: str, what: str):
+def _require_type(
+    value: object,
+    types: Union[type, Tuple[type, ...]],
+    path: str,
+    what: str,
+) -> object:
     if isinstance(value, bool) and bool not in (
         types if isinstance(types, tuple) else (types,)
     ):
@@ -72,7 +93,7 @@ def _require_type(value, types, path: str, what: str):
     return value
 
 
-def _validate_label(value, path: str):
+def _validate_label(value: Union[int, str], path: str) -> Union[int, str]:
     """Node labels are JSON scalars: ints or strings."""
     if isinstance(value, bool) or not isinstance(value, (int, str)):
         raise SpecError(
@@ -87,7 +108,7 @@ class _SpecBase:
     _path = "spec"
 
     @classmethod
-    def _construct(cls, kwargs: Mapping, path: str):
+    def _construct(cls: "type[_S]", kwargs: Mapping, path: str) -> "_S":
         """Build the spec, re-rooting validation errors at ``path``.
 
         ``__post_init__`` validation reports paths relative to the class's
@@ -125,7 +146,7 @@ class _SpecBase:
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
-    def from_json(cls, text: str):
+    def from_json(cls: "type[_S]", text: str) -> "_S":
         try:
             data = json.loads(text)
         except json.JSONDecodeError as error:
@@ -138,7 +159,7 @@ class _SpecBase:
         return target
 
     @classmethod
-    def load(cls, path: Union[str, pathlib.Path]):
+    def load(cls: "type[_S]", path: Union[str, pathlib.Path]) -> "_S":
         source = pathlib.Path(path)
         if not source.exists():
             raise SpecError(cls._path, f"spec file {str(source)!r} does not exist")
@@ -217,7 +238,7 @@ class GraphSpec(_SpecBase):
         _reject_unknown(mapping, [f.name for f in dataclasses.fields(cls)], path)
         return cls._construct(mapping, path)
 
-    def build(self):
+    def build(self) -> "DiGraph":
         """Materialise the graph this spec describes (with annotations).
 
         (Named ``build`` like :meth:`ModelSpec.build`; the inherited
@@ -284,7 +305,7 @@ class ModelSpec(_SpecBase):
         _reject_unknown(mapping, [f.name for f in dataclasses.fields(cls)], path)
         return cls._construct(mapping, path)
 
-    def build(self):
+    def build(self) -> "DiffusionModel":
         """Instantiate the diffusion model."""
         from repro.diffusion.registry import get_model
 

@@ -13,6 +13,8 @@ import tracemalloc
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
+from repro.exceptions import LifecycleError
+
 T = TypeVar("T")
 
 _BYTES_PER_MB = 1024.0 * 1024.0
@@ -60,7 +62,7 @@ class MemoryTracker:
     def peak_mb(self) -> float:
         """Peak additional memory allocated inside the block, in MB."""
         if self.snapshot is None:
-            raise RuntimeError("MemoryTracker has not finished measuring yet")
+            raise LifecycleError("MemoryTracker has not finished measuring yet")
         return self.snapshot.peak_mb
 
 

@@ -13,6 +13,8 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError, RNGError
+
 # Public alias used in type hints across the package.
 RandomState = Union[None, int, np.random.Generator]
 
@@ -33,7 +35,7 @@ def ensure_rng(seed: RandomState = None) -> np.random.Generator:
         return seed
     if isinstance(seed, (int, np.integer)):
         return np.random.default_rng(int(seed))
-    raise TypeError(
+    raise RNGError(
         f"seed must be None, an int or a numpy Generator, got {type(seed).__name__}"
     )
 
@@ -46,6 +48,6 @@ def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]
     reproducible.
     """
     if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
+        raise ConfigurationError(f"count must be non-negative, got {count}")
     seeds = rng.integers(0, np.iinfo(np.int64).max, size=count)
     return [np.random.default_rng(int(s)) for s in seeds]

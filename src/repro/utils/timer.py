@@ -7,6 +7,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, TypeVar
 
+from repro.exceptions import LifecycleError
+
 T = TypeVar("T")
 
 
@@ -29,13 +31,13 @@ class Timer:
 
     def start(self) -> "Timer":
         if self._started_at is not None:
-            raise RuntimeError("timer is already running")
+            raise LifecycleError("timer is already running")
         self._started_at = time.perf_counter()
         return self
 
     def stop(self) -> float:
         if self._started_at is None:
-            raise RuntimeError("timer is not running")
+            raise LifecycleError("timer is not running")
         self.elapsed += time.perf_counter() - self._started_at
         self._started_at = None
         return self.elapsed

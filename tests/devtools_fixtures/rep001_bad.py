@@ -1,0 +1,11 @@
+"""Fixture: hidden global RNG state (REP001 must fire twice)."""
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw(count):
+    return np.random.rand(count)
+
+
+def fresh():
+    return default_rng()

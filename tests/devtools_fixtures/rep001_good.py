@@ -1,0 +1,12 @@
+"""Fixture: randomness threaded through utils.rng (REP001 must stay quiet)."""
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def draw(rng: np.random.Generator, count: int) -> np.ndarray:
+    return rng.random(count)
+
+
+def seeded(seed: int) -> np.random.Generator:
+    return ensure_rng(seed)

@@ -1,0 +1,11 @@
+"""Fixture: wall-clock reads (REP002 must fire twice)."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def born():
+    return datetime.now()

@@ -1,0 +1,10 @@
+"""Fixture: monotonic and injectable clocks (REP002 must stay quiet)."""
+import time
+
+
+def elapsed(start: float) -> float:
+    return time.monotonic() - start
+
+
+def measure() -> float:
+    return time.perf_counter()

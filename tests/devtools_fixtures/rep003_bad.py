@@ -1,0 +1,9 @@
+"""Fixture: builtin exceptions raised directly (REP003 must fire twice)."""
+
+
+def check(x):
+    if x < 0:
+        raise ValueError(f"x must be >= 0, got {x}")
+    if not isinstance(x, int):
+        raise TypeError("x must be an int")
+    return x

@@ -1,0 +1,24 @@
+"""Fixture: taxonomy raises and protocol carve-outs (REP003 must stay quiet)."""
+from repro.exceptions import ConfigurationError
+
+
+def check(x):
+    if x < 0:
+        raise ConfigurationError(f"x must be >= 0, got {x}")
+    return x
+
+
+def abstract_hook():
+    raise NotImplementedError
+
+
+def __getattr__(name):
+    # Module __getattr__ must raise AttributeError for hasattr() to work.
+    raise AttributeError(f"module has no attribute {name!r}")
+
+
+def reraise():
+    try:
+        check(-1)
+    except ConfigurationError as error:
+        raise error

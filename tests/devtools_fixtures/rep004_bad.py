@@ -1,0 +1,15 @@
+"""Fixture: swallowed broad excepts (REP004 must fire twice)."""
+
+
+def swallow_exception(work):
+    try:
+        return work()
+    except Exception:
+        return None
+
+
+def swallow_everything(work):
+    try:
+        return work()
+    except:
+        pass

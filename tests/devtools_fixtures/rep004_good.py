@@ -1,0 +1,16 @@
+"""Fixture: broad excepts that re-raise, narrow excepts (REP004 quiet)."""
+
+
+def bookkeeping_then_reraise(work, counter):
+    try:
+        return work()
+    except BaseException:
+        counter["failures"] += 1
+        raise
+
+
+def narrow(work):
+    try:
+        return work()
+    except (OSError, KeyError):
+        return None

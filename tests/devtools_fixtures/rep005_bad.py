@@ -1,0 +1,7 @@
+"""Fixture: CSR mutation outside repro.graphs (REP005 must fire thrice)."""
+
+
+def poke(graph, value):
+    graph.out_probability[0] = value
+    graph.in_indptr = None
+    graph.out_weight[1:] *= 2.0

@@ -1,0 +1,7 @@
+"""Fixture: CSR reads and local copies (REP005 must stay quiet)."""
+
+
+def peek(graph):
+    probabilities = graph.out_probability.copy()
+    probabilities[0] = 0.5
+    return probabilities, graph.in_indptr[-1]

@@ -1,0 +1,7 @@
+"""Fixture: __all__ lists unbound + duplicate names (REP006 fires twice)."""
+
+__all__ = ["exists", "ghost", "exists"]
+
+
+def exists():
+    return True

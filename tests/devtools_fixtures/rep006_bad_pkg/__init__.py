@@ -1,0 +1,3 @@
+"""Fixture package: re-export surface without __all__ (REP006 must fire)."""
+
+from os.path import join

@@ -1,0 +1,10 @@
+"""Fixture package: complete, bound __all__ (REP006 must stay quiet)."""
+
+from os.path import join as _join
+
+
+def helper():
+    return _join("a", "b")
+
+
+__all__ = ["helper"]

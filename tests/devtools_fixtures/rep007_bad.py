@@ -1,0 +1,15 @@
+"""Fixture: serving locks acquired against the hierarchy (REP007 fires)."""
+import threading
+
+_install_lock = threading.Lock()
+
+
+class CircuitBreaker:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def record(self):
+        # fault-install (innermost) held while taking the breaker lock.
+        with _install_lock:
+            with self._lock:
+                pass

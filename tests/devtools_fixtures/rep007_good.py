@@ -1,0 +1,19 @@
+"""Fixture: serving locks in declared order (REP007 must stay quiet)."""
+import threading
+
+_install_lock = threading.Lock()
+
+
+class InfluenceIndex:
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def grow(self):
+        with self._lock:
+            with _install_lock:
+                pass
+
+    def reentrant(self):
+        with self._lock:
+            with self._lock:
+                pass

@@ -1,0 +1,5 @@
+"""Fixture: print in library code (REP008 must fire)."""
+
+
+def report(value):
+    print(value)

@@ -1,0 +1,8 @@
+"""Fixture: structured return instead of print (REP008 must stay quiet).
+
+A docstring mentioning print("like this") is not a call.
+"""
+
+
+def report(value):
+    return {"value": value}

@@ -1,0 +1,6 @@
+"""Fixture: a violation silenced by a per-line, per-rule suppression."""
+import time
+
+
+def stamp():
+    return time.time()  # repro: noqa[REP002] — fixture exercising suppression
