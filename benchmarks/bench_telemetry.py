@@ -1,0 +1,254 @@
+#!/usr/bin/env python
+"""Micro-benchmark: telemetry instrumentation overhead and accuracy.
+
+Two questions, one JSON record (``BENCH_telemetry.json``):
+
+* **Overhead** — the fault-tolerance benchmark's closed-loop workload
+  (bounded concurrency, mixed evaluate/select/hot-swap traffic) is driven
+  twice over identical seed sets: once with the process-global default
+  registry and a trace recorder installed (every per-request series,
+  engine counter and span firing), once with telemetry disabled
+  (``set_default_registry(None)``; only the always-on legacy ``stats()``
+  counters tick).  The budget is **≤3%** q/s regression — DESIGN.md,
+  "Telemetry".
+* **Accuracy** — a clean single-threaded evaluate-only phase (no retry
+  loops, no hot swaps) observes every request latency twice: in the
+  harness's own list and in the registry's
+  ``repro_serving_request_seconds`` histogram.  Registry-derived
+  p50/p95/p99 must bracket the harness percentiles within one bucket's
+  resolution, which is the histogram contract.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import json
+import pathlib
+import platform
+import tempfile
+import time
+
+import numpy as np
+
+from repro.graphs.generators import barabasi_albert_graph
+from repro.serving import InfluenceIndex, InfluenceService, RetryPolicy
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    TraceRecorder,
+    recording,
+    set_default_registry,
+)
+
+from bench_fault_tolerance import (  # noqa: E402 — sibling benchmark module
+    ENGINE_SEED,
+    FAULT_SEED,
+    MAX_QUEUE,
+    MODEL,
+    drive_workload,
+    make_seed_sets,
+    percentile,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_telemetry.json"
+
+#: Interleaved A/B rounds; medians over rounds cancel thermal / cache drift.
+ROUNDS = 3
+
+
+def bucket_resolution(value: float) -> float:
+    """Width of the histogram bucket containing ``value`` (its error bound)."""
+    bounds = list(DEFAULT_LATENCY_BUCKETS)
+    index = bisect.bisect_left(bounds, value)
+    if index >= len(bounds):
+        return float("inf")
+    lower = bounds[index - 1] if index else 0.0
+    return bounds[index] - lower
+
+
+def run_phase(compiled, artifact, seed_sets, theta, *, enabled):
+    """One closed-loop workload pass with telemetry on or off."""
+    service = InfluenceService(
+        default_theta=theta,
+        engine_seed=ENGINE_SEED,
+        max_queue=MAX_QUEUE,
+        retry_policy=RetryPolicy(base_delay=0.001, seed=FAULT_SEED),
+    )
+    service.load_artifact(artifact, compiled)
+    service.evaluate(compiled, MODEL, seed_sets[1])  # warm the pool
+
+    previous = set_default_registry(MetricsRegistry() if enabled else None)
+    recorder = TraceRecorder(seed=ENGINE_SEED)
+    try:
+        if enabled:
+            with recording(recorder):
+                result = drive_workload(
+                    service, compiled, seed_sets,
+                    degraded_ok=False, artifact=artifact,
+                )
+        else:
+            result = drive_workload(
+                service, compiled, seed_sets,
+                degraded_ok=False, artifact=artifact,
+            )
+    finally:
+        set_default_registry(previous)
+    if enabled:
+        result["spans_recorded"] = len(recorder.finished()) + recorder.dropped
+    return result
+
+
+def measure_accuracy(compiled, artifact, theta, requests):
+    """Evaluate-only phase: harness vs registry-derived percentiles."""
+    service = InfluenceService(
+        default_theta=theta,
+        engine_seed=ENGINE_SEED,
+        retry_policy=RetryPolicy(base_delay=0.001, seed=FAULT_SEED),
+    )
+    service.load_artifact(artifact, compiled)
+    rng = np.random.default_rng(11)
+    n = compiled.number_of_nodes
+    seed_sets = [rng.choice(n, size=4, replace=False).tolist()
+                 for _ in range(requests)]
+    service.evaluate(compiled, MODEL, seed_sets[0])  # warm
+
+    registry = MetricsRegistry()
+    previous = set_default_registry(registry)
+    latencies = []
+    try:
+        for seeds in seed_sets:
+            start = time.perf_counter()
+            service.evaluate(compiled, MODEL, seeds)
+            latencies.append(time.perf_counter() - start)
+    finally:
+        set_default_registry(previous)
+
+    histogram = service.telemetry.histogram(
+        "repro_serving_request_seconds", labelnames=("op",)
+    ).labels(op="evaluate")
+    report = {"requests": requests, "histogram_count": histogram.count}
+    checks = []
+    for q in (0.50, 0.95, 0.99):
+        harness = percentile(latencies, q * 100.0)
+        derived = histogram.quantile(q)
+        resolution = bucket_resolution(harness)
+        checks.append(abs(derived - harness) <= resolution)
+        report[f"p{int(q * 100)}"] = {
+            "harness_ms": round(harness * 1000.0, 3),
+            "registry_ms": round(derived * 1000.0, 3),
+            "bucket_resolution_ms": round(resolution * 1000.0, 3),
+        }
+    report["within_bucket_resolution"] = all(checks)
+    return report
+
+
+def run(smoke: bool, output: pathlib.Path) -> dict:
+    scale = 10 if smoke else 1
+    nodes = 5_000 // scale
+    theta = 20_000 // scale
+    requests = 600 // scale
+    graph = barabasi_albert_graph(nodes, 3, seed=1)
+    graph.set_weighted_cascade_probabilities()
+    compiled = graph.compile()
+    seed_sets = make_seed_sets(compiled, requests)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = pathlib.Path(tmp) / "index.npz"
+        InfluenceIndex.build(
+            compiled, MODEL, theta, engine_seed=ENGINE_SEED
+        ).save(artifact)
+
+        enabled_runs, disabled_runs = [], []
+        spans_recorded = 0
+        for _ in range(ROUNDS):
+            disabled_runs.append(run_phase(
+                compiled, artifact, seed_sets, theta, enabled=False,
+            ))
+            enabled = run_phase(
+                compiled, artifact, seed_sets, theta, enabled=True,
+            )
+            spans_recorded = enabled.pop("spans_recorded")
+            enabled_runs.append(enabled)
+
+        accuracy = measure_accuracy(
+            compiled, artifact, theta, max(requests // 2, 30)
+        )
+
+    disabled_qps = float(np.median(
+        [r["queries_per_second"] for r in disabled_runs]
+    ))
+    enabled_qps = float(np.median(
+        [r["queries_per_second"] for r in enabled_runs]
+    ))
+    overhead = (disabled_qps - enabled_qps) / disabled_qps
+
+    report = {
+        "benchmark": "bench_telemetry",
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "nodes": nodes,
+        "edges": compiled.number_of_edges,
+        "model": MODEL,
+        "theta": theta,
+        "requests": requests,
+        "rounds": ROUNDS,
+        "disabled_qps_median": round(disabled_qps, 1),
+        "enabled_qps_median": round(enabled_qps, 1),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_budget": 0.03,
+        "within_budget": bool(overhead <= 0.03),
+        "spans_recorded_per_run": spans_recorded,
+        "disabled_runs": disabled_runs,
+        "enabled_runs": enabled_runs,
+        "percentile_accuracy": accuracy,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"telemetry off {disabled_qps:7.1f} q/s\n"
+        f"telemetry on  {enabled_qps:7.1f} q/s  "
+        f"overhead {overhead:+.1%} (budget 3%)\n"
+        f"p50 harness {accuracy['p50']['harness_ms']:.2f}ms vs "
+        f"registry {accuracy['p50']['registry_ms']:.2f}ms "
+        f"(bucket ±{accuracy['p50']['bucket_resolution_ms']:.2f}ms) — "
+        f"{'OK' if accuracy['within_bucket_resolution'] else 'MISMATCH'}"
+    )
+    print(f"wrote {output}")
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="scale everything down ~10x for a CI smoke run",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON record (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args()
+    report = run(args.smoke, args.output)
+    if not report["percentile_accuracy"]["within_bucket_resolution"]:
+        print("ERROR: registry percentiles drifted past bucket resolution")
+        return 1
+    # Smoke runs are too short/noisy to gate on throughput; the full run is
+    # the one that enforces the 3% budget.
+    if not report["smoke"] and not report["within_budget"]:
+        print(
+            f"ERROR: telemetry overhead {report['overhead_fraction']:.1%} "
+            f"exceeds the 3% budget"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

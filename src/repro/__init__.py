@@ -122,6 +122,17 @@ from repro.api import (
     estimator_capabilities,
     run_experiment,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    MetricsServer,
+    TraceRecorder,
+    default_registry,
+    recording,
+    render_prometheus,
+    set_default_registry,
+    span,
+    use_registry,
+)
 
 __version__ = "1.1.0"
 
@@ -212,4 +223,14 @@ __all__ = [
     "SketchEstimator",
     "IndexEstimator",
     "ScoreEstimator",
+    # telemetry
+    "MetricsRegistry",
+    "MetricsServer",
+    "TraceRecorder",
+    "default_registry",
+    "recording",
+    "render_prometheus",
+    "set_default_registry",
+    "span",
+    "use_registry",
 ]

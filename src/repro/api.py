@@ -73,6 +73,8 @@ from repro.specs import (
     EstimatorSpec,
     ExperimentSpec,
 )
+from repro.telemetry.tracing import TraceRecorder, recording, span
+from repro.utils.memory import peak_rss_mb
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only for annotations
     from repro.scoring import ScoreEngine
@@ -695,6 +697,17 @@ class RunResult:
     def to_dict(self) -> Dict[str, object]:
         return self.to_payload()
 
+    @property
+    def telemetry(self) -> Dict[str, object]:
+        """The run's telemetry section (stage timings, spans, peak RSS).
+
+        Lives inside ``provenance`` so it serialises — and round-trips
+        through :meth:`to_dict`/:meth:`from_dict` — with no extra schema
+        field.  Empty when the run predates telemetry.
+        """
+        section = self.provenance.get("telemetry", {})
+        return dict(section) if isinstance(section, Mapping) else {}
+
     def to_json(self, indent: Optional[int] = 2) -> str:
         import json
 
@@ -742,6 +755,11 @@ class RunResult:
                 if k not in known and k not in spread_keys
             },
         )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunResult":
+        """Alias for :meth:`from_payload` (pairs with :meth:`to_dict`)."""
+        return cls.from_payload(payload)
 
     @classmethod
     def from_json(cls, text: str) -> "RunResult":
@@ -820,49 +838,75 @@ def run_experiment(
         )
     total_started = time.perf_counter()
     timings: Dict[str, float] = {}
+    # Span trees are recorded per run with a spec-seeded recorder so span
+    # IDs — and therefore the serialised provenance — are reproducible
+    # (REP002: no wall-clock identity in results).
+    recorder = TraceRecorder(seed=spec.seed or 0)
 
-    started = time.perf_counter()
-    loaded = spec.graph.build() if graph is None else graph
-    dataset = getattr(loaded, "name", None) or spec.graph.dataset
-    compiled = loaded.compile() if isinstance(loaded, DiGraph) else loaded
-    timings["load_seconds"] = time.perf_counter() - started
-
-    model = spec.model.build()
-
-    selection: Optional[SeedSelectionResult] = None
-    if spec.algorithm is not None:
-        selector = build_selector(
-            spec.algorithm,
-            model=model,
-            objective=spec.evaluation.objective,
-            penalty=spec.evaluation.penalty,
-            seed=spec.seed,
-        )
+    with recording(recorder):
         started = time.perf_counter()
-        selection = selector.select(compiled, spec.budget)
-        timings["selection_seconds"] = time.perf_counter() - started
-        seeds = list(selection.seeds)
-    else:
-        seeds = list(spec.seeds)
+        with span("stage_load", dataset=str(spec.graph.dataset)):
+            loaded = spec.graph.build() if graph is None else graph
+            dataset = getattr(loaded, "name", None) or spec.graph.dataset
+            compiled = loaded.compile() if isinstance(loaded, DiGraph) else loaded
+        timings["load_seconds"] = time.perf_counter() - started
 
-    started = time.perf_counter()
-    estimator = build_estimator(
-        spec.evaluation.estimator,
-        compiled,
-        model,
-        objective=spec.evaluation.objective,
-        penalty=spec.evaluation.penalty,
-    )
-    timings["estimator_build_seconds"] = time.perf_counter() - started
+        model = spec.model.build()
 
-    started = time.perf_counter()
-    spreads = estimator.details(seeds)
-    value = _objective_value(spreads, spec.evaluation.objective)
-    curve: Optional[Dict[int, float]] = None
-    if spec.evaluation.seed_counts is not None:
-        curve = estimator.sweep(seeds, spec.evaluation.seed_counts)
-    timings["estimate_seconds"] = time.perf_counter() - started
-    timings["total_seconds"] = time.perf_counter() - total_started
+        selection: Optional[SeedSelectionResult] = None
+        if spec.algorithm is not None:
+            selector = build_selector(
+                spec.algorithm,
+                model=model,
+                objective=spec.evaluation.objective,
+                penalty=spec.evaluation.penalty,
+                seed=spec.seed,
+            )
+            started = time.perf_counter()
+            with span(
+                "stage_select",
+                algorithm=spec.algorithm.name,
+                budget=int(spec.budget or 0),
+            ):
+                selection = selector.select(compiled, spec.budget)
+            timings["selection_seconds"] = time.perf_counter() - started
+            seeds = list(selection.seeds)
+        else:
+            seeds = list(spec.seeds)
+
+        started = time.perf_counter()
+        with span(
+            "stage_build_estimator", backend=str(spec.evaluation.estimator.backend)
+        ):
+            estimator = build_estimator(
+                spec.evaluation.estimator,
+                compiled,
+                model,
+                objective=spec.evaluation.objective,
+                penalty=spec.evaluation.penalty,
+            )
+        timings["estimator_build_seconds"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        with span("stage_estimate", seeds=len(seeds)):
+            spreads = estimator.details(seeds)
+            value = _objective_value(spreads, spec.evaluation.objective)
+            curve: Optional[Dict[int, float]] = None
+            if spec.evaluation.seed_counts is not None:
+                curve = estimator.sweep(seeds, spec.evaluation.seed_counts)
+        timings["estimate_seconds"] = time.perf_counter() - started
+        timings["total_seconds"] = time.perf_counter() - total_started
+
+    telemetry: Dict[str, object] = {
+        "stages": {name: round(seconds, 6) for name, seconds in timings.items()},
+        "spans": [finished.to_dict() for finished in recorder.finished()],
+        "dropped_spans": recorder.dropped,
+    }
+    rss = peak_rss_mb()
+    if rss is not None:
+        telemetry["peak_rss_mb"] = round(rss, 3)
+    provenance = _build_provenance(spec, compiled, estimator)
+    provenance["telemetry"] = telemetry
 
     return RunResult(
         query="run" if spec.algorithm is not None else "evaluate",
@@ -878,7 +922,7 @@ def run_experiment(
         spreads=spreads,
         selection=selection,
         selection_metadata=dict(selection.metadata) if selection is not None else {},
-        provenance=_build_provenance(spec, compiled, estimator),
+        provenance=provenance,
         timings=timings,
         extras={"name": spec.name},
         spec=spec,

@@ -233,6 +233,22 @@ def build_parser() -> argparse.ArgumentParser:
         "fallback (marked degraded:true with a reason) when an index is "
         "unavailable, instead of erroring",
     )
+    serve_parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus text on http://127.0.0.1:PORT/metrics (and "
+        "JSON on /metrics.json) from a background thread; 0 picks a free "
+        "port (announced on stderr)",
+    )
+
+    telemetry_parser = subparsers.add_parser(
+        "telemetry",
+        help="pretty-print the telemetry section of a run-result JSON file",
+    )
+    telemetry_parser.add_argument(
+        "result", help="path to a repro/run-result@1 JSON file (repro run "
+        "--json output)",
+    )
+    telemetry_parser.add_argument("--json", action="store_true")
 
     lint_parser = subparsers.add_parser(
         "lint",
@@ -573,7 +589,8 @@ def _command_serve(args: argparse.Namespace) -> int:
     payload: the service coalesces concurrent evaluates into batched
     coverage passes, so responses carry only the per-request numbers.
     """
-    from repro.exceptions import ReproError
+    from repro.telemetry.export import MetricsServer, snapshot as _metrics_snapshot
+    from repro.telemetry.registry import default_registry
 
     # Compile once: the service keys every request by the graph's content
     # fingerprint, which is cached on the immutable CompiledGraph — passing
@@ -594,6 +611,40 @@ def _command_serve(args: argparse.Namespace) -> int:
         # preloaded, not silently trigger an on-demand build under the CLI's
         # --model default for a different model.
         default_model = loaded.model
+    metrics_server = None
+    if args.metrics_port is not None:
+        # collect=service.stats refreshes the breaker/inflight gauges under
+        # the service lock right before each scrape renders them.
+        metrics_server = MetricsServer(
+            [service.telemetry, default_registry()],
+            port=args.metrics_port,
+            collect=service.stats,
+        )
+        metrics_server.start()
+        print(
+            f"metrics: http://127.0.0.1:{metrics_server.port}/metrics",
+            file=sys.stderr,
+            flush=True,
+        )
+    try:
+        _serve_loop(args, graph, service, default_model, _metrics_snapshot)
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
+    return 0
+
+
+def _serve_loop(
+    args: argparse.Namespace,
+    graph,
+    service: InfluenceService,
+    default_model: str,
+    _metrics_snapshot,
+) -> None:
+    """Body of ``repro serve``: read requests until EOF or shutdown."""
+    from repro.exceptions import ReproError
+    from repro.telemetry.registry import default_registry
+
     for line in sys.stdin:
         line = line.strip()
         if not line:
@@ -611,7 +662,14 @@ def _command_serve(args: argparse.Namespace) -> int:
             if op == "ping":
                 response = {"ok": True, "op": "ping"}
             elif op == "stats":
-                response = {"ok": True, "op": "stats", **_jsonable(service.stats())}
+                response = {
+                    "ok": True,
+                    "op": "stats",
+                    **_jsonable(service.stats()),
+                    "telemetry": _metrics_snapshot(
+                        service.telemetry, default_registry()
+                    ),
+                }
             elif op == "select":
                 selection = service.select(
                     graph,
@@ -691,6 +749,57 @@ def _command_serve(args: argparse.Namespace) -> int:
             # 1e400 becomes float('inf') and int() then raises OverflowError.
             response = {"ok": False, "error": str(error) or repr(error)}
         print(json.dumps(response), flush=True)
+
+
+def _command_telemetry(args: argparse.Namespace) -> int:
+    """Pretty-print the ``provenance.telemetry`` section of a run result."""
+    with open(args.result, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    provenance = payload.get("provenance", {})
+    telemetry = provenance.get("telemetry") if isinstance(provenance, dict) else None
+    if not telemetry:
+        print(f"{args.result}: no telemetry section (run predates telemetry?)")
+        return 1
+    if args.json:
+        print(json.dumps(telemetry, indent=2))
+        return 0
+    stages = telemetry.get("stages", {})
+    total = float(stages.get("total_seconds", 0.0)) or None
+    print(f"telemetry for {payload.get('query', '?')} "
+          f"({payload.get('dataset', '?')}, {payload.get('backend', '?')})")
+    print("\nstages:")
+    for name, seconds in sorted(stages.items(), key=lambda item: -item[1]):
+        share = f"  {100.0 * seconds / total:5.1f}%" if total else ""
+        print(f"  {name:28s} {seconds * 1000.0:10.2f} ms{share}")
+    rss = telemetry.get("peak_rss_mb")
+    if rss is not None:
+        print(f"\npeak RSS: {rss:.1f} MB")
+    spans = telemetry.get("spans", [])
+    if spans:
+        dropped = telemetry.get("dropped_spans", 0)
+        suffix = f" ({dropped} dropped)" if dropped else ""
+        print(f"\nspans ({len(spans)} recorded{suffix}):")
+        children: dict = {}
+        roots = []
+        for span_dict in spans:
+            parent = span_dict.get("parent_id")
+            if parent is None:
+                roots.append(span_dict)
+            else:
+                children.setdefault(parent, []).append(span_dict)
+
+        def _print_tree(node: dict, depth: int) -> None:
+            duration = float(node.get("duration", 0.0)) * 1000.0
+            attrs = node.get("attributes") or {}
+            rendered = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            rendered = f"  [{rendered}]" if rendered else ""
+            print(f"  {'  ' * depth}{node['name']:<{28 - 2 * depth}s} "
+                  f"{duration:10.2f} ms{rendered}")
+            for child in children.get(node.get("span_id"), []):
+                _print_tree(child, depth + 1)
+
+        for root in roots:
+            _print_tree(root, 0)
     return 0
 
 
@@ -757,6 +866,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiments": _command_experiments,
         "index": _command_index,
         "serve": _command_serve,
+        "telemetry": _command_telemetry,
         "lint": _command_lint,
     }
     return handlers[args.command](args)

@@ -17,12 +17,15 @@ REP005    csr-immutability        CompiledGraph CSR arrays mutate only in graphs
 REP006    all-exports             __all__ present in packages, bound + complete
 REP007    lock-order              serving locks acquired in declared order
 REP008    no-print                library code never prints (CLI/bench excepted)
+REP009    telemetry-conventions   metric names are repro_-prefixed snake_case,
+                                  registered via the registry (no raw dict tallies)
 ========  ======================  ==============================================
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.devtools.framework import Finding, ModuleContext, Rule, register
@@ -37,6 +40,7 @@ __all__ = [
     "NoSwallowedExceptRule",
     "NoWallClockRule",
     "RngDisciplineRule",
+    "TelemetryConventionsRule",
 ]
 
 
@@ -633,3 +637,78 @@ class NoPrintRule(Rule):
                     "print() in library code — return structured data or go "
                     "through the CLI layer",
                 )
+
+
+@register
+class TelemetryConventionsRule(Rule):
+    """Telemetry metrics are named and registered the one blessed way.
+
+    Every exported series must parse in Prometheus text format and group
+    under a common prefix in dashboards, so metric names are
+    ``repro_``-prefixed lower snake_case (``METRIC_NAME_PATTERN`` in
+    :mod:`repro.telemetry.registry` enforces the same shape at runtime —
+    this rule catches it before the code path runs).  Counters also must
+    live on a registry, not in ad-hoc instance dictionaries: a raw
+    ``self._stats[...] += 1`` tally is invisible to the exporters and
+    unsynchronised under concurrent requests.
+    """
+
+    code = "REP009"
+    name = "telemetry-conventions"
+    summary = (
+        "metric names repro_-prefixed snake_case; no raw dict counter tallies"
+    )
+
+    #: Methods on a registry (or family constructors) whose first argument
+    #: is a metric name.
+    REGISTRY_METHODS = ("counter", "gauge", "histogram")
+    FAMILY_CLASSES = ("Counter", "Gauge", "Histogram")
+    #: Instance-dict names that signal a hand-rolled metrics store.
+    RAW_COUNTER_ATTRS = ("_stats", "_counters", "_metrics")
+    NAME_PATTERN = r"^repro_[a-z][a-z0-9_]*$"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        pattern = re.compile(self.NAME_PATTERN)
+        origins = _imported_names(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = self._metric_name_argument(node, origins)
+                if name is not None and not pattern.match(name):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"metric name {name!r} must match {self.NAME_PATTERN} "
+                        "(repro_-prefixed lower snake_case)",
+                    )
+            elif (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.op, ast.Add)
+                and isinstance(node.target, ast.Subscript)
+                and isinstance(node.target.value, ast.Attribute)
+                and node.target.value.attr in self.RAW_COUNTER_ATTRS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"raw dict counter on {node.target.value.attr!r} — "
+                    "register a Counter on a telemetry MetricsRegistry so "
+                    "the series is exported and thread-safe",
+                )
+
+    def _metric_name_argument(
+        self, node: ast.Call, origins: Dict[str, str]
+    ) -> Optional[str]:
+        """The would-be metric name, when ``node`` registers a metric."""
+        if not node.args or not isinstance(node.args[0], ast.Constant):
+            return None
+        first = node.args[0].value
+        if not isinstance(first, str):
+            return None
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in self.REGISTRY_METHODS:
+            return first
+        if isinstance(func, ast.Name) and func.id in self.FAMILY_CLASSES:
+            origin = origins.get(func.id, "")
+            if origin.startswith("repro.telemetry"):
+                return first
+        return None

@@ -29,6 +29,8 @@ from repro.diffusion.base import DiffusionModel
 from repro.diffusion.registry import get_model
 from repro.exceptions import ConfigurationError
 from repro.graphs.digraph import CompiledGraph, DiGraph, Node
+from repro.telemetry.registry import default_registry
+from repro.telemetry.tracing import span
 from repro.utils.rng import RandomState, ensure_rng
 
 _LOGGER = logging.getLogger(__name__)
@@ -174,17 +176,29 @@ class MonteCarloEngine:
         """Estimate all objectives for ``seeds`` (labels or compiled indices)."""
         indices = self._normalise_seeds(seeds)
         key = frozenset(indices)
+        registry = default_registry()
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
+            if registry is not None:
+                registry.counter(
+                    "repro_mc_cache_hits_total", "Monte Carlo estimate cache hits."
+                ).inc()
             return cached
 
-        if self.workers > 1:
-            results = self._run_parallel(indices)
-        else:
-            results = self._run_serial(indices)
+        with span(
+            "mc_estimate", seeds=len(indices), simulations=int(self.simulations)
+        ):
+            if self.workers > 1:
+                results = self._run_parallel(indices)
+            else:
+                results = self._run_serial(indices)
         spreads, opinion_spreads, effective_spreads = results
         self.total_simulations_run += self.simulations
+        if registry is not None:
+            registry.counter(
+                "repro_mc_simulations_total", "Monte Carlo cascades simulated."
+            ).inc(self.simulations)
 
         estimate = SpreadEstimate(
             seeds=tuple(seeds),

@@ -50,6 +50,8 @@ import numpy as np
 from repro.diffusion.batch import _expand_csr
 from repro.exceptions import ConfigurationError
 from repro.graphs.digraph import CompiledGraph
+from repro.telemetry.registry import default_registry
+from repro.telemetry.tracing import span
 
 #: Incremental work budget as a fraction of the full-pass edge work ``l * m``;
 #: beyond it a full rebuild is cheaper than chasing the dirty ball.
@@ -341,7 +343,7 @@ class ScoreEngine:
             "edges_touched_incremental": 0,
         }
         self._state.full_rebuild(self._active)
-        self.stats["full_rebuilds"] += 1
+        self._bump("full_rebuilds")
         self._pool = _EMPTY
         self._tau = -np.inf
         self._rebuild_pool()
@@ -414,7 +416,7 @@ class ScoreEngine:
                 ]
             )
             self._pool = inactive[scores >= self._tau]
-        self.stats["pool_rebuilds"] += 1
+        self._bump("pool_rebuilds")
         return True
 
     # ------------------------------------------------------------- updates
@@ -435,6 +437,10 @@ class ScoreEngine:
         fresh = np.unique(nodes[~self._active[nodes]])
         if fresh.size == 0:
             return _EMPTY
+        with span("score_rescore", fresh=int(fresh.size)):
+            return self._mark_active_fresh(fresh)
+
+    def _mark_active_fresh(self, fresh: np.ndarray) -> np.ndarray:
         self._active[fresh] = True
         graph = self.graph
         # The residual-graph mask is derived from the active array on the
@@ -454,7 +460,7 @@ class ScoreEngine:
             and self._rebuilds_until_retry > 0
         ):
             self._rebuilds_until_retry -= 1
-            self.stats["direct_rebuilds"] += 1
+            self._bump("direct_rebuilds")
             return self._rebuild_and_diff()
 
         hops = self.max_path_length
@@ -503,17 +509,51 @@ class ScoreEngine:
             self._state.refresh_scores(dirty_nodes)
             self._push_increased(dirty_nodes, previous)
         self._consecutive_fallbacks = 0
-        self.stats["incremental_updates"] += 1
-        self.stats["dirty_nodes_total"] += int(dirty_nodes.size)
-        self.stats["edges_touched_incremental"] += edges_touched
+        self._bump("incremental_updates")
+        self._bump("dirty_nodes_total", int(dirty_nodes.size))
+        self._bump("edges_touched_incremental", edges_touched)
         return dirty_nodes
 
     # ------------------------------------------------------------ internals
 
+    def _bump(self, key: str, amount: int = 1) -> None:
+        """Update :attr:`stats` and mirror the increment to global metrics.
+
+        ``stats`` stays the authoritative per-engine record; the registry
+        mirror only exists when telemetry is enabled so the hot path pays a
+        single attribute read otherwise.
+        """
+        self.stats[key] += amount
+        registry = default_registry()
+        if registry is None:
+            return
+        if key.endswith("_rebuilds"):
+            registry.counter(
+                "repro_score_rebuilds_total",
+                "ScoreEngine rebuilds by kind.",
+                labelnames=("kind",),
+            ).labels(kind=key[: -len("_rebuilds")]).inc(amount)
+        else:
+            name, help_text = {
+                "incremental_updates": (
+                    "repro_score_incremental_updates_total",
+                    "ScoreEngine incremental score repairs.",
+                ),
+                "dirty_nodes_total": (
+                    "repro_score_dirty_nodes_total",
+                    "Nodes repaired by incremental updates.",
+                ),
+                "edges_touched_incremental": (
+                    "repro_score_edges_touched_total",
+                    "Edges traversed by incremental updates.",
+                ),
+            }[key]
+            registry.counter(name, help_text).inc(amount)
+
     def _fallback_rebuild(self) -> np.ndarray:
         self._consecutive_fallbacks += 1
         self._rebuilds_until_retry = FALLBACK_RETRY_PERIOD
-        self.stats["fallback_rebuilds"] += 1
+        self._bump("fallback_rebuilds")
         return self._rebuild_and_diff()
 
     def _rebuild_and_diff(self) -> np.ndarray:
@@ -521,11 +561,11 @@ class ScoreEngine:
             # Scores can only have decreased — the pool repairs itself — so
             # the old/new diff would be pure overhead.
             self._state.full_rebuild(self._active)
-            self.stats["full_rebuilds"] += 1
+            self._bump("full_rebuilds")
             return _EMPTY
         previous = self._state.scores.copy()
         self._state.full_rebuild(self._active)
-        self.stats["full_rebuilds"] += 1
+        self._bump("full_rebuilds")
         changed = np.flatnonzero(self._state.scores != previous)
         self._push_increased(changed, previous[changed])
         return changed

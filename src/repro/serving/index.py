@@ -32,7 +32,7 @@ from __future__ import annotations
 import pathlib
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -56,6 +56,8 @@ from repro.sketches.collection import RRSetCollection
 from repro.utils.rng import ensure_rng
 from repro.sketches.coverage import greedy_max_coverage, pad_with_unselected
 from repro.sketches.sampler import SUPPORTED_MODELS, BatchRRSampler
+from repro.telemetry.registry import default_registry
+from repro.telemetry.tracing import span
 
 DEFAULT_BLOCK_SIZE = 2048
 
@@ -120,6 +122,20 @@ class InfluenceIndex:
         self.numpy_version = numpy_version or np.__version__
         self._lock = threading.RLock()
         self._selection_cache: Dict[int, IndexSelection] = {}
+        # Per-registry memo for default-registry counters: the registry can
+        # be swapped at runtime (``set_default_registry``), so entries are
+        # keyed on its identity and refreshed when it changes.  Only touched
+        # under ``self._lock``.
+        self._counter_memo: Dict[str, Tuple[object, object]] = {}
+
+    def _counter(self, registry, name: str, help_text: str):
+        """Resolve ``registry.counter(name)`` once per registry instance."""
+        memo = self._counter_memo.get(name)
+        if memo is not None and memo[0] is registry:
+            return memo[1]
+        counter = registry.counter(name, help_text)
+        self._counter_memo[name] = (registry, counter)
+        return counter
 
     # ------------------------------------------------------------ construction
 
@@ -276,21 +292,43 @@ class InfluenceIndex:
             sampler = BatchRRSampler(self.graph, self.model)
             rng = ensure_rng(self.engine_seed)
             sampler.skip_tokens(rng, existing)
+            registry = default_registry()
+            sets_total = blocks_total = None
+            if registry is not None:
+                sets_total = self._counter(
+                    registry,
+                    "repro_index_rr_sets_total",
+                    "RR sets appended to influence indexes.",
+                )
+                blocks_total = self._counter(
+                    registry,
+                    "repro_index_grow_blocks_total",
+                    "Sampler blocks executed by index build/grow loops.",
+                )
             # Same chunking as sampler.sample_into (block boundaries are
             # what make growth block-size invariant), with a deadline check
             # and a fault-injection site per block.
-            while self.collection.num_sets < theta:
-                if deadline is not None:
-                    deadline.check("sample")
-                faults.trigger(
-                    faults.SITE_BUILD,
-                    context=f"{self.model} theta={self.collection.num_sets}",
-                )
-                block = min(
-                    self.block_size, theta - self.collection.num_sets
-                )
-                members, indptr, _ = sampler.sample(rng, block)
-                self.collection.append(members, indptr)
+            with span(
+                "index_grow",
+                model=self.model,
+                start=int(existing),
+                target=int(theta),
+            ):
+                while self.collection.num_sets < theta:
+                    if deadline is not None:
+                        deadline.check("sample")
+                    faults.trigger(
+                        faults.SITE_BUILD,
+                        context=f"{self.model} theta={self.collection.num_sets}",
+                    )
+                    block = min(
+                        self.block_size, theta - self.collection.num_sets
+                    )
+                    members, indptr, _ = sampler.sample(rng, block)
+                    self.collection.append(members, indptr)
+                    if sets_total is not None and blocks_total is not None:
+                        sets_total.inc(block)
+                        blocks_total.inc()
             self._selection_cache.clear()
             # Consolidation copies the mapped arrays into memory, so the
             # grown index is fully resident whatever its origin.
@@ -314,13 +352,21 @@ class InfluenceIndex:
             raise BudgetError(budget, self.graph.number_of_nodes)
         with self._lock:
             cached = self._selection_cache.get(budget)
+            registry = default_registry()
             if cached is not None:
+                if registry is not None:
+                    self._counter(
+                        registry,
+                        "repro_index_selection_cache_hits_total",
+                        "select() answers served from the per-budget cache.",
+                    ).inc()
                 return cached
             if deadline is not None:
                 deadline.check("select")
-            covering, covered_fraction = greedy_max_coverage(
-                self.collection, budget
-            )
+            with span("index_select", model=self.model, budget=int(budget)):
+                covering, covered_fraction = greedy_max_coverage(
+                    self.collection, budget
+                )
             indices = pad_with_unselected(
                 self.graph.number_of_nodes, covering, budget
             )
@@ -375,9 +421,20 @@ class InfluenceIndex:
         with self._lock:
             if deadline is not None:
                 deadline.check("evaluate")
-            return [
-                float(v) for v in self.collection.estimated_spreads(index_sets)
-            ]
+            registry = default_registry()
+            if registry is not None:
+                self._counter(
+                    registry,
+                    "repro_index_evaluations_total",
+                    "Seed sets answered by the batched RIS oracle.",
+                ).inc(len(index_sets))
+            with span(
+                "index_evaluate", model=self.model, batch=len(index_sets)
+            ):
+                return [
+                    float(v)
+                    for v in self.collection.estimated_spreads(index_sets)
+                ]
 
     def spread_curve(self, seed_counts: Sequence[int]) -> Dict[int, float]:
         """Spread estimates for the first ``k`` selected seeds, each ``k``.

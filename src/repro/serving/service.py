@@ -80,10 +80,36 @@ from repro.serving import faults
 from repro.serving.artifact import quarantine_artifact
 from repro.serving.index import DEFAULT_BLOCK_SIZE, IndexSelection, InfluenceIndex
 from repro.serving.resilience import CircuitBreaker, Deadline, RetryPolicy
+from repro.telemetry.registry import MetricsRegistry, default_registry
 
 DEFAULT_THETA = 20_000
 
 ServiceKey = Tuple[str, str]
+
+#: The legacy ``stats()`` counter keys, now backed by labeled children of
+#: ``repro_serving_events_total`` on the service's registry.  The key set
+#: is part of the public ``stats()`` contract — never remove or rename.
+_LEGACY_STAT_KEYS = (
+    "index_builds",
+    "index_hits",
+    "index_evictions",
+    "evaluate_requests",
+    "evaluate_batches",
+    "select_requests",
+    "requests_shed",
+    "degraded_answers",
+    "deadline_misses",
+    "io_retries",
+    "artifacts_quarantined",
+    "artifacts_rebuilt",
+    "hot_swaps",
+)
+
+#: The full (op, outcome) space for the per-request series.  Both axes are
+#: closed sets, which lets the service resolve every labeled child once at
+#: construction instead of paying a ``labels()`` lookup per request.
+_REQUEST_OPS = ("evaluate", "select", "sweep", "request")
+_REQUEST_OUTCOMES = ("ok", "degraded", "error", "shed")
 
 #: Failures for which a degraded answer may substitute when the caller opts
 #: in: the index is unavailable (breaker open, deadline expired, artifact
@@ -196,8 +222,18 @@ class InfluenceService:
         Per-index LRU capacity of the cached-spread store that backs
         degraded ``evaluate`` answers.
     clock:
-        Injectable monotonic clock used by deadlines and breakers (tests
-        drive it with virtual time).
+        Injectable monotonic clock used by deadlines, breakers and the
+        request-latency histograms (tests drive it with virtual time).
+    registry:
+        The :class:`~repro.telemetry.registry.MetricsRegistry` this
+        service records into; ``None`` (the default) creates a private
+        one, so two services never share counters.  The legacy
+        ``stats()`` keys are views over ``repro_serving_events_total``
+        on this registry and are always maintained; the richer
+        per-request series (latency histograms, labeled outcome
+        counters, gauges) additionally follow the process-global
+        telemetry switch — ``set_default_registry(None)`` turns them
+        off at one attribute read per request.
     """
 
     def __init__(
@@ -214,6 +250,7 @@ class InfluenceService:
         breaker_reset_seconds: float = 30.0,
         eval_cache_size: int = 4096,
         clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
@@ -262,21 +299,71 @@ class InfluenceService:
         self._select_spreads: "OrderedDict[Tuple[ServiceKey, int], float]" = (
             OrderedDict()
         )
-        self._stats = {
-            "index_builds": 0,
-            "index_hits": 0,
-            "index_evictions": 0,
-            "evaluate_requests": 0,
-            "evaluate_batches": 0,
-            "select_requests": 0,
-            "requests_shed": 0,
-            "degraded_answers": 0,
-            "deadline_misses": 0,
-            "io_retries": 0,
-            "artifacts_quarantined": 0,
-            "artifacts_rebuilt": 0,
-            "hot_swaps": 0,
+        # Metrics live on the registry; handles are resolved once here so
+        # hot paths touch no dicts.  The legacy counters stay a plain
+        # labeled counter family, reconstructed as a dict by stats().
+        self.telemetry = registry if registry is not None else MetricsRegistry()
+        events = self.telemetry.counter(
+            "repro_serving_events_total",
+            "Service lifecycle events, keyed like the legacy stats() dict.",
+            ("event",),
+        )
+        self._events = {key: events.labels(event=key) for key in _LEGACY_STAT_KEYS}
+        self._requests_total = self.telemetry.counter(
+            "repro_serving_requests_total",
+            "Query requests by operation and outcome.",
+            ("op", "outcome"),
+        )
+        self._request_seconds = self.telemetry.histogram(
+            "repro_serving_request_seconds",
+            "End-to-end service call latency by operation.",
+            ("op",),
+        )
+        # ``labels()`` takes the family lock per call; the (op, outcome)
+        # space is tiny and fixed, so resolve every child once here and the
+        # per-request path is two dict hits plus atomic increments.
+        self._request_children = {
+            (op, outcome): self._requests_total.labels(op=op, outcome=outcome)
+            for op in _REQUEST_OPS
+            for outcome in _REQUEST_OUTCOMES
         }
+        self._latency_children = {
+            op: self._request_seconds.labels(op=op) for op in _REQUEST_OPS
+        }
+        self._deadline_slack = self.telemetry.histogram(
+            "repro_serving_deadline_slack_seconds",
+            "Deadline budget still unspent when a deadlined request finished.",
+        ).labels()
+        self._inflight_gauge = self.telemetry.gauge(
+            "repro_serving_inflight", "Requests currently admitted."
+        ).labels()
+        self._breaker_gauge = self.telemetry.gauge(
+            "repro_serving_breakers", "Circuit breakers by state.", ("state",)
+        )
+        self._breaker_trips_gauge = self.telemetry.gauge(
+            "repro_serving_breaker_trips", "Cumulative circuit-breaker trips."
+        )
+
+    # --------------------------------------------------------------- metrics
+
+    def _bump(self, event: str) -> None:
+        """Increment one legacy stats() counter (always on)."""
+        self._events[event].inc()
+
+    def _observe_request(
+        self,
+        op: str,
+        outcome: str,
+        started: float,
+        deadline: Optional[Deadline],
+    ) -> None:
+        """Record the rich per-request series; off ⇒ one attribute read."""
+        if default_registry() is None:
+            return
+        self._request_children[op, outcome].inc()
+        self._latency_children[op].observe(max(self._clock() - started, 0.0))
+        if deadline is not None and outcome != "error":
+            self._deadline_slack.observe(max(deadline.remaining(), 0.0))
 
     # ------------------------------------------------------------- index pool
 
@@ -310,7 +397,7 @@ class InfluenceService:
         self._indexes.move_to_end(key)
         while len(self._indexes) > self.capacity:
             self._indexes.popitem(last=False)
-            self._stats["index_evictions"] += 1
+            self._bump("index_evictions")
 
     def attach(self, index: InfluenceIndex) -> ServiceKey:
         """Register an existing index (e.g. loaded from an artifact)."""
@@ -340,17 +427,25 @@ class InfluenceService:
             return None
         return Deadline.after_ms(deadline_ms, clock=self._clock)
 
-    def _admit(self) -> None:
+    def _admit(self, op: str = "request") -> None:
         """Admission control: count the request in or shed it."""
         with self._lock:
             if self.max_queue is not None and self._inflight >= self.max_queue:
-                self._stats["requests_shed"] += 1
+                self._bump("requests_shed")
+                if default_registry() is not None:
+                    self._request_children[op, "shed"].inc()
                 raise ServiceOverloadedError(self._inflight, self.max_queue)
             self._inflight += 1
+            inflight = self._inflight
+        if default_registry() is not None:
+            self._inflight_gauge.set(inflight)
 
     def _release(self) -> None:
         with self._lock:
             self._inflight -= 1
+            inflight = self._inflight
+        if default_registry() is not None:
+            self._inflight_gauge.set(inflight)
 
     def _retry_io(self, fn, deadline: Optional[Deadline]):
         """Run an artifact-IO callable under the service's retry policy."""
@@ -358,8 +453,7 @@ class InfluenceService:
             return fn()
 
         def on_retry(attempt: int, error: BaseException) -> None:
-            with self._lock:
-                self._stats["io_retries"] += 1
+            self._bump("io_retries")
 
         return self.retry_policy.call(fn, deadline=deadline, on_retry=on_retry)
 
@@ -367,12 +461,11 @@ class InfluenceService:
         self, error: BaseException, degraded_ok: bool
     ) -> Optional[str]:
         """Account a degradable failure; return the reason iff degrading."""
-        with self._lock:
-            if isinstance(error, DeadlineExceeded):
-                self._stats["deadline_misses"] += 1
-            if not degraded_ok:
-                return None
-            self._stats["degraded_answers"] += 1
+        if isinstance(error, DeadlineExceeded):
+            self._bump("deadline_misses")
+        if not degraded_ok:
+            return None
+        self._bump("degraded_answers")
         return _degrade_reason(error)
 
     # ---------------------------------------------------------- artifact paths
@@ -429,8 +522,7 @@ class InfluenceService:
     ) -> InfluenceIndex:
         """Move a corrupt artifact aside and rebuild it from its provenance."""
         quarantined = quarantine_artifact(path)
-        with self._lock:
-            self._stats["artifacts_quarantined"] += 1
+        self._bump("artifacts_quarantined")
         metadata = error.metadata if isinstance(error.metadata, dict) else {}
         model = metadata.get("model")
         if not isinstance(model, str):
@@ -449,8 +541,7 @@ class InfluenceService:
             deadline=deadline,
         )
         index.save(path)
-        with self._lock:
-            self._stats["artifacts_rebuilt"] += 1
+        self._bump("artifacts_rebuilt")
         return index
 
     def hot_swap(
@@ -473,7 +564,7 @@ class InfluenceService:
         )
         with self._lock:
             self._insert((index.fingerprint, index.model), index)
-            self._stats["hot_swaps"] += 1
+            self._bump("hot_swaps")
         return index
 
     # ----------------------------------------------------------- index access
@@ -513,7 +604,7 @@ class InfluenceService:
             with self._lock:
                 index = self._touch(key)
                 if index is not None:
-                    self._stats["index_hits"] += 1
+                    self._bump("index_hits")
                     break
                 build = self._builds.get(key)
                 if build is None:
@@ -542,7 +633,7 @@ class InfluenceService:
                 breaker.record_success()
                 with self._lock:
                     self._insert(key, index)
-                    self._stats["index_builds"] += 1
+                    self._bump("index_builds")
             except BaseException as error:
                 # A tight deadline says nothing about the index's health;
                 # real build failures count toward the breaker.
@@ -671,10 +762,11 @@ class InfluenceService:
         """
         deadline = self._deadline(deadline_ms)
         key, compiled = self._key(graph, model)
-        self._admit()
+        self._admit("select")
+        started = self._clock()
+        outcome = "error"
         try:
-            with self._lock:
-                self._stats["select_requests"] += 1
+            self._bump("select_requests")
             try:
                 index = self._get_index(
                     key, compiled, model, theta=theta, deadline=deadline
@@ -684,11 +776,14 @@ class InfluenceService:
                 reason = self._note_failure(error, degraded_ok)
                 if reason is None:
                     raise
+                outcome = "degraded"
                 return self._degraded_selection(compiled, key, budget, reason)
             self._remember_selection(key, selection)
+            outcome = "ok"
             return selection
         finally:
             self._release()
+            self._observe_request("select", outcome, started, deadline)
 
     def sweep(
         self,
@@ -703,7 +798,9 @@ class InfluenceService:
         """Warm k-sweep spread curve through the resident index."""
         deadline = self._deadline(deadline_ms)
         key, compiled = self._key(graph, model)
-        self._admit()
+        self._admit("sweep")
+        started = self._clock()
+        outcome = "error"
         try:
             try:
                 index = self._get_index(
@@ -711,7 +808,9 @@ class InfluenceService:
                 )
                 if deadline is not None:
                     deadline.check("sweep")
-                return SweepOutcome(index.spread_curve(seed_counts))
+                curve = SweepOutcome(index.spread_curve(seed_counts))
+                outcome = "ok"
+                return curve
             except DEGRADABLE_ERRORS as error:
                 reason = self._note_failure(error, degraded_ok)
                 if reason is None:
@@ -719,13 +818,15 @@ class InfluenceService:
                 counts = [int(k) for k in seed_counts]
                 if any(k < 0 for k in counts):
                     raise ConfigurationError("seed counts must be non-negative")
-                curve = {}
+                degraded_curve = {}
                 for k in counts:
                     selection = self._degraded_selection(compiled, key, k, reason)
-                    curve[k] = selection.estimated_spread
-                return SweepOutcome(curve, degraded=True, reason=reason)
+                    degraded_curve[k] = selection.estimated_spread
+                outcome = "degraded"
+                return SweepOutcome(degraded_curve, degraded=True, reason=reason)
         finally:
             self._release()
+            self._observe_request("sweep", outcome, started, deadline)
 
     def evaluate(
         self,
@@ -753,7 +854,9 @@ class InfluenceService:
         """
         deadline = self._deadline(deadline_ms)
         key, compiled = self._key(graph, model)
-        self._admit()
+        self._admit("evaluate")
+        started = self._clock()
+        outcome = "error"
         try:
             try:
                 index = self._get_index(
@@ -771,6 +874,7 @@ class InfluenceService:
                         f"seed {bad_seed.args[0]!r} is not a node of the "
                         f"indexed graph"
                     )
+                outcome = "degraded"
                 return self._degraded_evaluate(compiled, key, indices, reason)
             try:
                 result = self._coalesced_evaluate(index, key, indices, deadline)
@@ -778,11 +882,14 @@ class InfluenceService:
                 reason = self._note_failure(error, degraded_ok)
                 if reason is None:
                     raise
+                outcome = "degraded"
                 return self._degraded_evaluate(compiled, key, indices, reason)
             self._remember_spread(key, indices, result)
+            outcome = "ok"
             return EvaluateOutcome(result)
         finally:
             self._release()
+            self._observe_request("evaluate", outcome, started, deadline)
 
     def _coalesced_evaluate(
         self,
@@ -798,7 +905,7 @@ class InfluenceService:
         request = _EvalRequest(indices)
         with self._eval_cond:
             self._pending.setdefault(key, []).append(request)
-            self._stats["evaluate_requests"] += 1
+            self._bump("evaluate_requests")
             while True:
                 if request.error is not None:
                     raise request.error
@@ -834,7 +941,7 @@ class InfluenceService:
                         # leader.
                         self._retire_leader(key)
                         break
-                    self._stats["evaluate_batches"] += 1
+                    self._bump("evaluate_batches")
                 self._serve_batch(index, batch)
                 with self._eval_cond:
                     self._eval_cond.notify_all()
@@ -886,7 +993,19 @@ class InfluenceService:
     # -------------------------------------------------------------- telemetry
 
     def stats(self) -> Dict[str, object]:
-        """A snapshot of the service counters and resident indexes."""
+        """A consistent snapshot of service counters and resident indexes.
+
+        The whole snapshot — legacy counters, resident-index rows,
+        breaker states and trips, in-flight depth — is taken inside one
+        critical section, so the numbers are mutually consistent even
+        under concurrent traffic; every nested structure is freshly
+        built, so callers can mutate the result without touching live
+        service state.  The legacy keys are views over the service's
+        :class:`~repro.telemetry.registry.MetricsRegistry`
+        (``repro_serving_events_total``); breaker and queue-depth gauges
+        are re-sampled here, which is why metrics exporters call
+        ``stats()`` before each scrape.
+        """
         with self._lock:
             resident = [
                 {
@@ -898,20 +1017,34 @@ class InfluenceService:
                 }
                 for key, index in self._indexes.items()
             ]
-            snapshot = dict(self._stats)
-            breakers = [breaker for breaker in self._breakers.values()]
+            snapshot: Dict[str, object] = {
+                key: int(self._events[key].value) for key in _LEGACY_STAT_KEYS
+            }
+            # Breaker state/trips are read while the service lock pins the
+            # breaker set (service -> breaker follows the lock hierarchy);
+            # previously they were read after release, so a concurrently
+            # trip-and-reset could produce impossible combinations.
+            states = [breaker.state for breaker in self._breakers.values()]
+            trips = sum(breaker.trips for breaker in self._breakers.values())
             inflight = self._inflight
-        states = [breaker.state for breaker in breakers]
         snapshot["resident_indexes"] = resident
         snapshot["capacity"] = self.capacity
         snapshot["inflight"] = inflight
         snapshot["max_queue"] = self.max_queue
-        snapshot["breakers"] = {
+        counts = {
             "total": len(states),
             "open": states.count(CircuitBreaker.OPEN),
             "half_open": states.count(CircuitBreaker.HALF_OPEN),
-            "trips": sum(breaker.trips for breaker in breakers),
+            "trips": trips,
         }
+        snapshot["breakers"] = counts
+        if default_registry() is not None:
+            closed = counts["total"] - counts["open"] - counts["half_open"]
+            self._breaker_gauge.labels(state="closed").set(closed)
+            self._breaker_gauge.labels(state="open").set(counts["open"])
+            self._breaker_gauge.labels(state="half_open").set(counts["half_open"])
+            self._breaker_trips_gauge.set(trips)
+            self._inflight_gauge.set(inflight)
         return snapshot
 
     def __len__(self) -> int:

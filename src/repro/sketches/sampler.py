@@ -37,6 +37,8 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.graphs.digraph import CompiledGraph
+from repro.telemetry.registry import default_registry
+from repro.telemetry.tracing import span
 
 SUPPORTED_MODELS = ("ic", "wc", "lt")
 
@@ -283,10 +285,28 @@ class BatchRRSampler:
         """
         if block_size < 1:
             raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
-        while collection.num_sets < target:
-            block = min(block_size, target - collection.num_sets)
-            members, indptr, _ = self.sample(rng, block)
-            collection.append(members, indptr)
+        registry = default_registry()
+        sets_total = blocks_total = None
+        if registry is not None:
+            sets_total = registry.counter(
+                "repro_sketch_rr_sets_total", "RR sets drawn by sample_into."
+            )
+            blocks_total = registry.counter(
+                "repro_sketch_rr_blocks_total", "Sampling blocks run by sample_into."
+            )
+        with span(
+            "rr_sample",
+            model=self.model,
+            start=int(collection.num_sets),
+            target=int(target),
+        ):
+            while collection.num_sets < target:
+                block = min(block_size, target - collection.num_sets)
+                members, indptr, _ = self.sample(rng, block)
+                collection.append(members, indptr)
+                if sets_total is not None:
+                    sets_total.inc(block)
+                    blocks_total.inc()
 
     def sample_roots(
         self, rng: np.random.Generator, roots: np.ndarray

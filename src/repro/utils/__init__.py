@@ -2,7 +2,7 @@
 
 from repro.utils.rng import RandomState, ensure_rng, spawn_rng
 from repro.utils.timer import Timer, timed
-from repro.utils.memory import MemoryTracker, peak_memory_mb
+from repro.utils.memory import MemoryTracker, peak_memory_mb, peak_rss_mb
 from repro.utils.validation import (
     check_in_range,
     check_non_negative,
@@ -19,6 +19,7 @@ __all__ = [
     "timed",
     "MemoryTracker",
     "peak_memory_mb",
+    "peak_rss_mb",
     "check_in_range",
     "check_non_negative",
     "check_positive",

@@ -71,3 +71,22 @@ def peak_memory_mb(func: Callable[..., T], *args: object, **kwargs: object) -> t
     with MemoryTracker() as tracker:
         result = func(*args, **kwargs)
     return result, tracker.peak_mb
+
+
+def peak_rss_mb() -> float | None:
+    """Process-lifetime peak resident set size in MB, or ``None``.
+
+    Read from ``getrusage`` so it costs nothing per sample — unlike
+    :class:`MemoryTracker` it sees native (numpy) allocations, which is
+    what a telemetry snapshot should report.  ``None`` on platforms
+    without :mod:`resource`; the unit of ``ru_maxrss`` is KB on Linux
+    and bytes on macOS.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover — non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = _BYTES_PER_MB if sys.platform == "darwin" else 1024.0
+    return float(peak) / divisor

@@ -54,7 +54,11 @@ class Timer:
         return self.start()
 
     def __exit__(self, *exc_info: object) -> None:
-        self.stop()
+        # Idempotent on exit: a manual stop() inside the block is legal and
+        # must not turn the context manager's own exit into a
+        # LifecycleError (which would also mask any in-flight exception).
+        if self.running:
+            self.stop()
 
 
 @contextmanager

@@ -1,0 +1,20 @@
+"""Fixture: REP009-clean telemetry — conventional names, registry tallies."""
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.registry import Counter
+
+
+class Worker:
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        # A plain dict under a non-metric attribute name is ordinary state,
+        # not a hand-rolled metrics store.
+        self.progress = {"requests": 0}
+
+    def observe(self):
+        self.registry.counter("repro_worker_requests_total", "Requests seen.").inc()
+        self.registry.histogram(
+            "repro_worker_latency_seconds", "Request latencies."
+        ).observe(0.1)
+        Counter("repro_worker_retries_total", "Retries attempted.")
+        self.progress["requests"] += 1

@@ -55,6 +55,7 @@ RULE_FIXTURES = [
     ("REP006", "rep006_bad.py", "rep006_good_pkg/__init__.py", 2),
     ("REP007", "rep007_bad.py", "rep007_good.py", 1),
     ("REP008", "rep008_bad.py", "rep008_good.py", 1),
+    ("REP009", "rep009_bad.py", "rep009_good.py", 5),
 ]
 
 
@@ -122,7 +123,7 @@ class TestFramework:
 
     def test_all_rules_cover_the_documented_set(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == [f"REP00{i}" for i in range(1, 9)]
+        assert codes == [f"REP00{i}" for i in range(1, 10)]
 
     def test_rule_filtering(self):
         report = run_lint(

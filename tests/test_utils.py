@@ -91,6 +91,28 @@ class TestTimer:
         assert result == 6
         assert elapsed >= 0.0
 
+    def test_manual_stop_inside_context_does_not_raise_on_exit(self):
+        # Regression: __exit__ used to call stop() unconditionally, so an
+        # early manual stop() turned the block exit into a LifecycleError
+        # (masking any in-flight exception with it).
+        timer = Timer()
+        with timer:
+            elapsed = timer.stop()
+        assert timer.elapsed == elapsed
+        assert not timer.running
+
+    def test_manual_stop_does_not_mask_block_exception(self):
+        timer = Timer()
+        with pytest.raises(ValueError, match="boom"):
+            with timer:
+                timer.stop()
+                raise ValueError("boom")
+
+    def test_timed_survives_manual_stop(self):
+        with timed() as timer:
+            timer.stop()
+        assert not timer.running
+
 
 class TestMemory:
     def test_tracker_measures_allocation(self):
