@@ -77,6 +77,9 @@ from repro.telemetry.tracing import TraceRecorder, recording, span
 from repro.utils.memory import peak_rss_mb
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only for annotations
+    import pathlib
+
+    from repro.runtime.checkpoint import RunCheckpoint
     from repro.scoring import ScoreEngine
 
 #: Schema identifier stamped on every serialised :class:`RunResult`.
@@ -287,6 +290,7 @@ class IndexEstimator:
         seed: int = 0,
         artifact: Optional[str] = None,
         mmap: bool = True,
+        workers: int = 1,
     ) -> None:
         from repro.serving.index import InfluenceIndex
 
@@ -303,7 +307,12 @@ class IndexEstimator:
                 )
         else:
             self.index = InfluenceIndex.build(
-                compiled, model, theta, engine_seed=seed, block_size=block_size
+                compiled,
+                model,
+                theta,
+                engine_seed=seed,
+                block_size=block_size,
+                workers=workers,
             )
         self.graph = compiled
         self.artifact = artifact
@@ -531,6 +540,7 @@ def build_estimator(
             seed=spec.engine_seed,
             artifact=spec.artifact,
             mmap=spec.mmap,
+            workers=spec.workers,
         )
     if backend == "score":
         if objective == "effective-opinion" and penalty != 1.0:
@@ -820,6 +830,8 @@ def run_experiment(
     spec: ExperimentSpec,
     *,
     graph: Union[DiGraph, CompiledGraph, None] = None,
+    checkpoint: Union[str, "pathlib.Path", "RunCheckpoint", None] = None,
+    resume: bool = False,
 ) -> RunResult:
     """Execute a declarative :class:`~repro.specs.ExperimentSpec` end-to-end.
 
@@ -829,6 +841,14 @@ def run_experiment(
     negotiated backend, sweeping every requested prefix.  Pass ``graph`` to
     reuse an already-materialised graph (it must match the spec's
     description; the content fingerprint is recorded either way).
+
+    ``checkpoint`` (a path or a
+    :class:`~repro.runtime.checkpoint.RunCheckpoint`) persists the
+    completed selection stage — the expensive half of a run — keyed by the
+    spec's canonical digest; with ``resume=True`` a matching checkpoint
+    skips the selector and goes straight to estimation.  A checkpoint
+    written for a different spec is refused
+    (:class:`~repro.exceptions.CheckpointError`), never silently served.
     """
     if not isinstance(spec, ExperimentSpec):
         raise ConfigurationError(
@@ -836,6 +856,17 @@ def run_experiment(
             "build one with repro.ExperimentSpec or load one with "
             "repro.load_experiment_spec()"
         )
+    run_checkpoint: Optional["RunCheckpoint"] = None
+    spec_digest = ""
+    if checkpoint is not None:
+        from repro.runtime.checkpoint import RunCheckpoint as _RunCheckpoint
+
+        run_checkpoint = (
+            checkpoint
+            if isinstance(checkpoint, _RunCheckpoint)
+            else _RunCheckpoint(checkpoint)
+        )
+        spec_digest = _RunCheckpoint.spec_digest(spec)
     total_started = time.perf_counter()
     timings: Dict[str, float] = {}
     # Span trees are recorded per run with a spec-seeded recorder so span
@@ -854,22 +885,34 @@ def run_experiment(
         model = spec.model.build()
 
         selection: Optional[SeedSelectionResult] = None
+        resumed_selection = False
         if spec.algorithm is not None:
-            selector = build_selector(
-                spec.algorithm,
-                model=model,
-                objective=spec.evaluation.objective,
-                penalty=spec.evaluation.penalty,
-                seed=spec.seed,
-            )
-            started = time.perf_counter()
-            with span(
-                "stage_select",
-                algorithm=spec.algorithm.name,
-                budget=int(spec.budget or 0),
-            ):
-                selection = selector.select(compiled, spec.budget)
-            timings["selection_seconds"] = time.perf_counter() - started
+            if run_checkpoint is not None and resume:
+                selection = run_checkpoint.load_selection(spec_digest)
+                resumed_selection = selection is not None
+            if selection is not None:
+                # The checkpointed stage's own runtime, not the (near-zero)
+                # time to reload it — sweeps that sum stage timings should
+                # see the cost the run actually paid once.
+                timings["selection_seconds"] = selection.runtime_seconds
+            else:
+                selector = build_selector(
+                    spec.algorithm,
+                    model=model,
+                    objective=spec.evaluation.objective,
+                    penalty=spec.evaluation.penalty,
+                    seed=spec.seed,
+                )
+                started = time.perf_counter()
+                with span(
+                    "stage_select",
+                    algorithm=spec.algorithm.name,
+                    budget=int(spec.budget or 0),
+                ):
+                    selection = selector.select(compiled, spec.budget)
+                timings["selection_seconds"] = time.perf_counter() - started
+                if run_checkpoint is not None:
+                    run_checkpoint.save_selection(spec_digest, selection)
             seeds = list(selection.seeds)
         else:
             seeds = list(spec.seeds)
@@ -924,6 +967,10 @@ def run_experiment(
         selection_metadata=dict(selection.metadata) if selection is not None else {},
         provenance=provenance,
         timings=timings,
-        extras={"name": spec.name},
+        extras=(
+            {"name": spec.name, "resumed_selection": True}
+            if resumed_selection
+            else {"name": spec.name}
+        ),
         spec=spec,
     )

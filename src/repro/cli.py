@@ -42,7 +42,9 @@ from repro.bench.experiments import experiment_index_rows
 from repro.bench.reporting import format_table
 from repro.datasets.registry import available_datasets, dataset_spec, load_dataset
 from repro.diffusion.registry import available_models
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ExecutionInterrupted
+from repro.runtime import BuildCheckpoint, InterruptGuard
+from repro.runtime.interrupt import raise_on_sigterm
 from repro.sketches.sampler import SUPPORTED_MODELS as RIS_MODELS
 from repro.graphs.stats import compute_stats
 from repro.serving import InfluenceIndex, InfluenceService
@@ -55,6 +57,12 @@ from repro.specs import (
     ModelSpec,
     load_experiment_spec,
 )
+
+#: Exit code for a build/run stopped cooperatively by SIGINT/SIGTERM after
+#: flushing its checkpoint — distinct from success (0) and ReproError (2)
+#: so schedulers and the chaos harness can tell "resumable interrupt" apart
+#: from "failed".  130 matches the shell convention for SIGINT termination.
+EXIT_INTERRUPTED = 130
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate-only", action="store_true",
         help="validate the spec and exit without running it",
     )
+    run_parser.add_argument(
+        "--checkpoint", nargs="?", const="", default=None, metavar="PATH",
+        help="persist the completed selection stage so an interrupted run "
+        "can resume; PATH defaults to <spec>.ckpt.json",
+    )
+    run_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the run checkpoint (implies --checkpoint); the "
+        "checkpoint must have been written by the exact same spec",
+    )
     run_parser.add_argument("--json", action="store_true", help="emit JSON output")
 
     subparsers.add_parser("experiments", help="list the paper experiment index")
@@ -160,6 +178,26 @@ def build_parser() -> argparse.ArgumentParser:
     build_parser_.add_argument("--block-size", type=int, default=2048)
     build_parser_.add_argument(
         "--output", "-o", required=True, help="artifact path (.npz)"
+    )
+    build_parser_.add_argument(
+        "--workers", type=int, default=1,
+        help="supervised worker processes sampling blocks in parallel; the "
+        "built index is bit-identical for any worker count",
+    )
+    build_parser_.add_argument(
+        "--checkpoint", action="store_true",
+        help="periodically persist progress next to --output "
+        "(<output>.ckpt.npz/.json) so a killed build can --resume",
+    )
+    build_parser_.add_argument(
+        "--checkpoint-every", type=int, default=8, metavar="BLOCKS",
+        help="checkpoint cadence in completed sampler blocks",
+    )
+    build_parser_.add_argument(
+        "--resume", action="store_true",
+        help="resume from the checkpoint next to --output if one exists "
+        "(implies --checkpoint); the resumed artifact is bit-identical to "
+        "an uninterrupted build",
     )
     build_parser_.add_argument("--json", action="store_true")
 
@@ -440,7 +478,37 @@ def _command_run(args: argparse.Namespace) -> int:
         print(json.dumps({"ok": True, "spec": spec.to_dict()}, indent=2)
               if args.json else f"spec {args.spec!r} is valid ({spec.name})")
         return 0
-    result = run_experiment(spec)
+    checkpoint = args.checkpoint
+    if checkpoint is None and args.resume:
+        checkpoint = ""
+    if checkpoint == "":
+        checkpoint = f"{args.spec}.ckpt.json"
+    # Selection is one monolithic selector call with no block boundaries to
+    # stop at, so `run` cannot defer signals the way `index build` does;
+    # instead SIGTERM is mapped onto the KeyboardInterrupt path Ctrl-C
+    # already takes.  The selection checkpoint is written the moment the
+    # stage completes, so whatever finished before the signal is kept.
+    try:
+        with raise_on_sigterm():
+            result = run_experiment(
+                spec, checkpoint=checkpoint, resume=args.resume
+            )
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        if checkpoint is not None:
+            print(
+                "selection progress (if the stage completed) is checkpointed"
+                f" at {checkpoint}; resume with: repro-im run {args.spec}"
+                f" --checkpoint {checkpoint} --resume",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "no checkpoint was enabled; rerun with --checkpoint to make "
+                "runs resumable",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
     _print_result(result, args.json)
     return 0
 
@@ -458,16 +526,69 @@ def _command_index(args: argparse.Namespace) -> int:
 
 def _command_index_build(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
+    compiled = graph.compile()
+    checkpoint = None
+    if args.checkpoint or args.resume:
+        checkpoint = BuildCheckpoint(args.output, every=args.checkpoint_every)
     started = time.perf_counter()
-    index = InfluenceIndex.build(
-        graph,
-        args.model,
-        args.theta,
-        engine_seed=args.engine_seed,
-        block_size=args.block_size,
-    )
+    index = None
+    resumed_from = None
+    if args.resume and checkpoint is not None:
+        index = checkpoint.resume(
+            compiled,
+            model=args.model,
+            engine_seed=args.engine_seed,
+            block_size=args.block_size,
+        )
+        if index is not None:
+            resumed_from = index.theta
+    guard = InterruptGuard()
+    try:
+        with guard:
+            if index is None:
+                index = InfluenceIndex.build(
+                    compiled,
+                    args.model,
+                    args.theta,
+                    engine_seed=args.engine_seed,
+                    block_size=args.block_size,
+                    workers=args.workers,
+                    checkpoint=checkpoint,
+                    stop=guard.stop_requested,
+                )
+            else:
+                index.grow(
+                    args.theta,
+                    workers=args.workers,
+                    checkpoint=checkpoint,
+                    stop=guard.stop_requested,
+                )
+    except ExecutionInterrupted as error:
+        # grow() flushed a final checkpoint (when one was enabled) before
+        # raising, so the completed prefix survives the signal.
+        signal_name = guard.signal_name or "signal"
+        print(f"interrupted by {signal_name}: {error}", file=sys.stderr)
+        if checkpoint is not None:
+            print(
+                f"checkpoint saved at {checkpoint.manifest_path}; resume "
+                f"with: repro-im index build ... --output {args.output} "
+                "--resume",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "no checkpoint was enabled; rerun with --checkpoint to make "
+                "builds resumable",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
     build_seconds = time.perf_counter() - started
     path = index.save(args.output)
+    if checkpoint is not None:
+        # The final artifact supersedes the partial; keep the directory
+        # clean so a later --resume of a *different* build cannot trip over
+        # a stale manifest.
+        checkpoint.clear()
     payload = {
         "artifact": str(path),
         "dataset": graph.name,
@@ -478,7 +599,10 @@ def _command_index_build(args: argparse.Namespace) -> int:
         "fingerprint": index.fingerprint[:16],
         "artifact_bytes": path.stat().st_size,
         "build_seconds": round(build_seconds, 4),
+        "workers": args.workers,
     }
+    if resumed_from is not None:
+        payload["resumed_from_theta"] = resumed_from
     if args.json:
         print(json.dumps(payload, indent=2))
     else:

@@ -19,6 +19,8 @@ REP007    lock-order              serving locks acquired in declared order
 REP008    no-print                library code never prints (CLI/bench excepted)
 REP009    telemetry-conventions   metric names are repro_-prefixed snake_case,
                                   registered via the registry (no raw dict tallies)
+REP010    no-raw-pools            worker processes are spawned only through
+                                  repro.runtime (SupervisedPool), never raw pools
 ========  ======================  ==============================================
 """
 
@@ -37,6 +39,7 @@ __all__ = [
     "ExceptionTaxonomyRule",
     "LockOrderRule",
     "NoPrintRule",
+    "NoRawPoolsRule",
     "NoSwallowedExceptRule",
     "NoWallClockRule",
     "RngDisciplineRule",
@@ -711,4 +714,74 @@ class TelemetryConventionsRule(Rule):
             origin = origins.get(func.id, "")
             if origin.startswith("repro.telemetry"):
                 return first
+        return None
+
+
+@register
+class NoRawPoolsRule(Rule):
+    """Worker processes are spawned only through :mod:`repro.runtime`.
+
+    A raw ``multiprocessing.Pool`` or ``ProcessPoolExecutor`` gives up
+    everything the supervised runtime guarantees: heartbeat liveness
+    checks, deterministic replay of a crashed worker's token block,
+    bounded respawns with in-process fallback, and checkpoint-aware
+    in-order result emission.  A worker killed by the OOM killer under a
+    raw pool silently hangs the build (or worse, drops a block), so all
+    process fan-out goes through :class:`repro.runtime.SupervisedPool`.
+    Thread pools are unaffected — this rule is about *process* workers,
+    which is where crash recovery and replay determinism live.
+    """
+
+    code = "REP010"
+    name = "no-raw-pools"
+    summary = (
+        "no multiprocessing.Pool / ProcessPoolExecutor outside repro.runtime"
+    )
+
+    ALLOWED_MODULES = ("repro.runtime",)
+    BANNED_CALLS = {
+        "multiprocessing.Pool": "multiprocessing.Pool",
+        "multiprocessing.pool.Pool": "multiprocessing.pool.Pool",
+        "concurrent.futures.ProcessPoolExecutor": (
+            "concurrent.futures.ProcessPoolExecutor"
+        ),
+        "concurrent.futures.process.ProcessPoolExecutor": (
+            "concurrent.futures.process.ProcessPoolExecutor"
+        ),
+    }
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.in_package(*self.ALLOWED_MODULES):
+            return
+        origins = _imported_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if chain is None:
+                continue
+            resolved = self._resolve(chain, origins)
+            if resolved is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"raw {resolved} — spawn workers through "
+                "repro.runtime.SupervisedPool so crashes are detected, "
+                "blocks are replayed deterministically and checkpoints work",
+            )
+
+    def _resolve(self, chain: str, origins: Dict[str, str]) -> Optional[str]:
+        head, _, rest = chain.partition(".")
+        origin = origins.get(head)
+        full = f"{origin}.{rest}" if origin and rest else (origin or chain)
+        if full in self.BANNED_CALLS:
+            return self.BANNED_CALLS[full]
+        if chain in self.BANNED_CALLS:
+            return self.BANNED_CALLS[chain]
+        # ``mp.Pool(...)`` under any import alias of multiprocessing —
+        # except multiprocessing.dummy, whose Pool is a thread pool.
+        if chain.endswith(".Pool") and "dummy" not in chain:
+            if origin is not None and origin.startswith("multiprocessing"):
+                return full
         return None

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import logging
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -87,10 +86,15 @@ def _init_pool_worker(model: DiffusionModel, graph: CompiledGraph) -> None:
     _POOL_STATE["graph"] = graph
 
 
-def _simulate_batch_pooled(
-    seeds: tuple, penalty: float, batch_seed: int, count: int
-) -> np.ndarray:
-    """Worker-side block runner using the state set by :func:`_init_pool_worker`."""
+def _simulate_batch_pooled(payload: tuple) -> np.ndarray:
+    """Worker-side block runner using the state set by :func:`_init_pool_worker`.
+
+    ``payload`` is ``(seeds, penalty, batch_seed, count)``; a block's result
+    is a pure function of it (plus the pool-installed model and graph), which
+    is the replay invariant the supervised pool relies on to re-execute the
+    block bit-identically after a worker crash.
+    """
+    seeds, penalty, batch_seed, count = payload
     return _simulate_batch(
         _POOL_STATE["model"], _POOL_STATE["graph"], seeds, penalty, batch_seed, count
     )
@@ -166,7 +170,7 @@ class MonteCarloEngine:
         self._rng = ensure_rng(seed)
         self._cache: OrderedDict[frozenset, SpreadEstimate] = OrderedDict()
         self._cache_size = cache_size
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool = None
         #: Number of individual cascades simulated so far (for benchmarking).
         self.total_simulations_run = 0
 
@@ -269,32 +273,36 @@ class MonteCarloEngine:
     def _run_parallel(self, indices: list[int]) -> np.ndarray:
         """Spread the same block plan across ``self.workers`` processes.
 
-        The pool is created once per engine (shipping the graph and model to
-        each worker a single time) and reused by every subsequent estimate.
+        The supervised pool is created once per engine (shipping the graph
+        and model to each worker a single time) and reused by every
+        subsequent estimate; a worker lost to a crash mid-estimate costs one
+        deterministically replayed block, not a wrong or hung estimate.
         """
         pool = self._ensure_pool()
-        futures = [
-            pool.submit(
-                _simulate_batch_pooled, tuple(indices), self.penalty, seed, count
-            )
+        payloads = [
+            (tuple(indices), self.penalty, seed, count)
             for seed, count in self._block_plan()
         ]
-        batches = [future.result() for future in futures]
+        batches = pool.run(payloads)
         return np.concatenate(batches, axis=1)
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def _ensure_pool(self):
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_pool_worker,
-                initargs=(self.model, self.graph),
+            from repro.runtime.pool import SupervisedPool
+
+            self._pool = SupervisedPool(
+                _simulate_batch_pooled,
+                workers=self.workers,
+                init_fn=_init_pool_worker,
+                init_args=(self.model, self.graph),
+                name="mc-engine",
             )
         return self._pool
 
     def close(self) -> None:
         """Shut down the worker pool (no-op for serial engines)."""
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool.close()
             self._pool = None
 
     def __del__(self) -> None:  # pragma: no cover - interpreter-dependent

@@ -190,6 +190,76 @@ class IndexMismatchError(ServingError):
     """
 
 
+class ExecutionError(ReproError, RuntimeError):
+    """Raised by the supervised execution runtime (:mod:`repro.runtime`).
+
+    Covers the parallel build machinery: worker pools, crash supervision
+    and checkpoint/resume.  ``RuntimeError`` stays a base so callers that
+    treat pool failures as generic runtime faults keep working.
+    """
+
+
+class WorkerCrashError(ExecutionError):
+    """Raised when worker crashes exhaust the pool's respawn budget.
+
+    Only reachable when the in-process fallback is disabled — by default a
+    pool that cannot keep workers alive finishes the remaining blocks
+    inline instead of failing the build.
+    """
+
+    def __init__(self, name: str, crashes: int, budget: int) -> None:
+        super().__init__(
+            f"supervised pool {name!r} lost {crashes} worker(s), exhausting "
+            f"its respawn budget of {budget} with in-process fallback "
+            "disabled"
+        )
+        self.name = name
+        self.crashes = crashes
+        self.budget = budget
+
+
+class TaskFailedError(ExecutionError):
+    """Raised when a task raises a real exception inside a worker.
+
+    Distinct from a worker *crash* (process death), which is retried via
+    deterministic replay: an in-task exception is itself deterministic —
+    the replay invariant guarantees a retry would raise it again — so the
+    pool surfaces it immediately instead of burning the respawn budget.
+    """
+
+    def __init__(self, label: str, detail: str) -> None:
+        super().__init__(f"task {label} failed in a worker: {detail}")
+        self.label = label
+        self.detail = detail
+
+
+class CheckpointError(ExecutionError):
+    """Raised when a checkpoint manifest does not match the requested build.
+
+    A checkpoint is only resumable into the *exact* build that wrote it
+    (same graph fingerprint, model, engine seed, block size and numpy
+    stream); resuming across any of those would silently break the
+    resumed == uninterrupted guarantee, so the mismatch is refused.
+    """
+
+
+class ExecutionInterrupted(ExecutionError):
+    """Raised when a build stops at a clean block boundary after a signal.
+
+    SIGINT/SIGTERM handling requests a *cooperative* stop: the current
+    block finishes, the partial state is checkpointable, and this error
+    reports how far the build got so the CLI can print a resume command.
+    """
+
+    def __init__(self, stage: str, completed: int) -> None:
+        super().__init__(
+            f"interrupted at stage {stage!r} after {completed} completed "
+            "unit(s); partial progress was kept for --resume"
+        )
+        self.stage = stage
+        self.completed = completed
+
+
 class SpecError(ConfigurationError):
     """Raised when a declarative experiment spec fails validation.
 

@@ -1,0 +1,96 @@
+"""Cooperative SIGINT/SIGTERM handling for long builds.
+
+A long index build killed by Ctrl-C or a scheduler's SIGTERM should not
+lose its progress: the first signal *requests* a stop — the build finishes
+its current sampler block, flushes a final checkpoint, and exits through
+:class:`~repro.exceptions.ExecutionInterrupted` so the CLI can print the
+resume command.  A second signal (an impatient operator) falls back to the
+default behaviour and raises ``KeyboardInterrupt`` immediately.
+
+:class:`InterruptGuard` is a context manager scoping that policy.  Its
+:meth:`~InterruptGuard.stop_requested` method is the ``stop`` predicate
+the build loops poll at block boundaries.  Signal handlers can only be
+installed from the main thread; elsewhere (a build running inside a
+serving worker thread) the guard degrades to an inert predicate that
+never fires — signal policy belongs to whoever owns the main thread.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from types import FrameType
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["InterruptGuard", "raise_on_sigterm"]
+
+_GUARDED_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+@contextlib.contextmanager
+def raise_on_sigterm() -> Iterator[None]:
+    """Map SIGTERM onto ``KeyboardInterrupt`` for the enclosed block.
+
+    For stages with no block boundaries to stop at (a monolithic selector
+    call), deferral buys nothing — instead a scheduler's SIGTERM takes the
+    exact abort path Ctrl-C already takes, so one ``except
+    KeyboardInterrupt`` handles both.  No-op off the main thread.
+    """
+
+    def _handle(signum: int, frame: Optional[FrameType]) -> None:
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _handle)
+    except ValueError:
+        previous = None
+    try:
+        yield
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+
+
+class InterruptGuard:
+    """Turn the first SIGINT/SIGTERM into a cooperative stop request."""
+
+    def __init__(self) -> None:
+        self._stop = threading.Event()
+        self._previous: List[Tuple[signal.Signals, object]] = []
+        self._installed = False
+        #: The signal that triggered the stop, for operator-facing messages.
+        self.signal_name: Optional[str] = None
+
+    def _handle(self, signum: int, frame: Optional[FrameType]) -> None:
+        if self._stop.is_set():
+            # Second signal: the operator means it — stop deferring.
+            raise KeyboardInterrupt
+        self.signal_name = signal.Signals(signum).name
+        self._stop.set()
+
+    def __enter__(self) -> "InterruptGuard":
+        for signum in _GUARDED_SIGNALS:
+            try:
+                self._previous.append((signum, signal.signal(signum, self._handle)))
+            except ValueError:
+                # Not the main thread: leave signal policy alone.
+                break
+        else:
+            self._installed = True
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        for signum, previous in self._previous:
+            signal.signal(signum, previous)
+        self._previous = []
+        self._installed = False
+
+    def stop_requested(self) -> bool:
+        """The ``stop`` predicate build loops poll at block boundaries."""
+        return self._stop.is_set()
+
+    @property
+    def active(self) -> bool:
+        """Whether handlers are actually installed (main thread only)."""
+        return self._installed

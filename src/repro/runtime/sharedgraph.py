@@ -1,0 +1,107 @@
+"""mmap-backed CSR sharing for supervised worker pools.
+
+A :class:`SharedGraph` is a small picklable handle to a
+:class:`~repro.graphs.digraph.CompiledGraph` whose array payload has been
+dumped to per-array ``.npy`` files in a scratch directory.  Workers call
+:meth:`SharedGraph.load_compiled` and get the same graph back with every
+CSR array memory-mapped read-only, so
+
+* on spawn-start platforms the (potentially gigabyte-scale) CSR arrays are
+  never pickled through the process boundary, and
+* however many workers run, the kernel keeps **one** physical copy of the
+  arrays in the page cache — the out-of-core posture the ROADMAP's
+  million-node target needs.
+
+Only the light Python-side fields (node labels, graph name) travel by
+pickle.  The handle does not own the directory's lifetime: the pool owner
+that dumped the graph removes the directory once its workers are gone
+(:meth:`cleanup`), which on POSIX is safe even while maps are live.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import tempfile
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ExecutionError
+from repro.graphs.digraph import CompiledGraph, Node
+
+__all__ = ["SHARED_ARRAYS", "SharedGraph", "share_graph"]
+
+#: The CompiledGraph constructor arrays persisted per share, in the
+#: constructor's own argument order.
+SHARED_ARRAYS = (
+    "out_indptr",
+    "out_indices",
+    "out_probability",
+    "out_interaction",
+    "out_weight",
+    "in_indptr",
+    "in_indices",
+    "in_probability",
+    "in_interaction",
+    "in_weight",
+    "opinions",
+    "thresholds",
+)
+
+
+class SharedGraph:
+    """Picklable handle to a compiled graph dumped as per-array npy files."""
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path],
+        labels: Sequence[Node],
+        name: str = "",
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.labels = list(labels)
+        self.name = name
+
+    @classmethod
+    def dump(
+        cls,
+        compiled: CompiledGraph,
+        directory: Union[str, pathlib.Path],
+    ) -> "SharedGraph":
+        """Write ``compiled``'s arrays under ``directory`` and return a handle."""
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for attr in SHARED_ARRAYS:
+            np.save(directory / f"{attr}.npy", getattr(compiled, attr))
+        return cls(directory, compiled.labels, getattr(compiled, "name", ""))
+
+    def load_compiled(self) -> CompiledGraph:
+        """Rebuild the compiled graph with every array memory-mapped."""
+        arrays = {}
+        for attr in SHARED_ARRAYS:
+            path = self.directory / f"{attr}.npy"
+            try:
+                arrays[attr] = np.load(path, mmap_mode="r")
+            except (OSError, ValueError) as error:
+                raise ExecutionError(
+                    f"shared graph array {path} is missing or unreadable "
+                    f"({error}); the pool owner may have cleaned the share up "
+                    "while workers were still starting"
+                )
+        index_of = {label: i for i, label in enumerate(self.labels)}
+        return CompiledGraph(labels=self.labels, index_of=index_of, **arrays)
+
+    def cleanup(self) -> None:
+        """Remove the share directory (safe while worker maps are live on POSIX)."""
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+def share_graph(
+    compiled: CompiledGraph,
+    directory: Optional[Union[str, pathlib.Path]] = None,
+) -> SharedGraph:
+    """Dump ``compiled`` into ``directory`` (a fresh temp dir by default)."""
+    if directory is None:
+        directory = tempfile.mkdtemp(prefix="repro-sharedgraph-")
+    return SharedGraph.dump(compiled, directory)

@@ -29,6 +29,7 @@ to an ordinary in-memory ``np.load``.
 from __future__ import annotations
 
 import contextlib
+import errno
 import hashlib
 import io
 import json
@@ -94,20 +95,50 @@ def quarantine_artifact(path: Union[str, pathlib.Path]) -> pathlib.Path:
 
     The file is preserved for post-mortem, never deleted; the original path
     becomes free for a rebuilt artifact.  Returns the quarantine path.
+
+    Concurrency-safe: the quarantine name is *reserved* with ``os.link``
+    (atomic, fails ``EEXIST``) before the original is unlinked, so two
+    processes quarantining at once — or a racer creating ``.corrupt.N``
+    between a name probe and a rename — can never clobber each other's
+    post-mortem evidence the way a check-then-``os.replace`` loop could.
     """
     path = pathlib.Path(path)
-    target = path.with_name(path.name + ".corrupt")
-    counter = 0
-    while target.exists():
-        counter += 1
-        target = path.with_name(f"{path.name}.corrupt.{counter}")
-    try:
-        os.replace(path, target)
-    except OSError as error:
-        raise IndexArtifactError(
-            f"could not quarantine corrupt artifact {path}: {error}"
-        )
-    return target
+    for counter in range(10_000):
+        suffix = ".corrupt" if counter == 0 else f".corrupt.{counter}"
+        target = path.with_name(path.name + suffix)
+        try:
+            os.link(path, target)
+        except FileExistsError:
+            continue
+        except OSError as error:
+            if error.errno in (errno.EPERM, errno.EOPNOTSUPP, errno.EMLINK):
+                # Filesystem without hardlinks: degrade to a plain rename.
+                # The reservation guarantee is lost, but quarantine still
+                # works — and ``os.replace`` keeps the old all-or-nothing
+                # behaviour within one process.
+                try:
+                    os.replace(path, target)
+                except OSError as fallback_error:
+                    raise IndexArtifactError(
+                        f"could not quarantine corrupt artifact {path}: "
+                        f"{fallback_error}"
+                    )
+                return target
+            raise IndexArtifactError(
+                f"could not quarantine corrupt artifact {path}: {error}"
+            )
+        try:
+            os.unlink(path)
+        except OSError as error:
+            raise IndexArtifactError(
+                f"could not remove quarantined artifact {path} (its evidence "
+                f"copy is at {target}): {error}"
+            )
+        return target
+    raise IndexArtifactError(
+        f"could not quarantine corrupt artifact {path}: 10000 quarantine "
+        "names are already taken — clean up the *.corrupt files"
+    )
 
 
 @dataclass

@@ -27,6 +27,16 @@ Injection sites (constants below):
                           build stall, ``raise`` for a build failure)
 ``service.leader``        the coalescing leader, just before its batched
                           oracle pass (``raise`` kills the leader mid-batch)
+``runtime.worker``        a supervised worker, before executing each block
+                          (``kill`` hard-exits the process, simulating an
+                          OOM-kill or segfault; ``raise`` crashes it with a
+                          traceback; ``sleep`` models a straggler)
+``runtime.heartbeat``     the worker liveness path (``hang`` silently wedges
+                          the worker — heartbeats stop and the block never
+                          finishes — exercising timeout + SIGKILL + replay)
+``runtime.checkpoint``    each checkpoint manifest write (``corrupt`` makes
+                          the writer persist garbage so resume must detect
+                          and discard it; ``raise`` fails the write)
 ========================  =====================================================
 
 Install a plan process-wide with :func:`install` / :func:`uninstall`, or
@@ -56,6 +66,9 @@ __all__ = [
     "SITE_ARTIFACT_READ",
     "SITE_BUILD",
     "SITE_LEADER",
+    "SITE_RUNTIME_CHECKPOINT",
+    "SITE_RUNTIME_HEARTBEAT",
+    "SITE_RUNTIME_WORKER",
     "FaultPlan",
     "FaultRule",
     "InjectedFault",
@@ -69,17 +82,42 @@ SITE_ARTIFACT_READ = "artifact.read"
 SITE_ARTIFACT_PAYLOAD = "artifact.payload"
 SITE_BUILD = "index.build"
 SITE_LEADER = "service.leader"
+SITE_RUNTIME_WORKER = "runtime.worker"
+SITE_RUNTIME_HEARTBEAT = "runtime.heartbeat"
+SITE_RUNTIME_CHECKPOINT = "runtime.checkpoint"
 
 KNOWN_SITES = frozenset(
-    (SITE_ARTIFACT_READ, SITE_ARTIFACT_PAYLOAD, SITE_BUILD, SITE_LEADER)
+    (
+        SITE_ARTIFACT_READ,
+        SITE_ARTIFACT_PAYLOAD,
+        SITE_BUILD,
+        SITE_LEADER,
+        SITE_RUNTIME_WORKER,
+        SITE_RUNTIME_HEARTBEAT,
+        SITE_RUNTIME_CHECKPOINT,
+    )
 )
 
-#: Actions a rule may take when it fires.
-ACTIONS = frozenset(("raise", "sleep", "corrupt"))
+#: Actions a rule may take when it fires.  ``raise``/``sleep``/``corrupt``
+#: are interpreted by :meth:`FaultPlan.trigger` itself; ``kill`` and
+#: ``hang`` are *returned as markers* (like :data:`CORRUPT`) because only
+#: the supervised-worker call sites may act on them — hard-exiting or
+#: wedging an arbitrary process that merely installed a plan would be a
+#: chaos tool destroying its own harness.
+ACTIONS = frozenset(("raise", "sleep", "corrupt", "kill", "hang"))
 
 #: Marker returned by :func:`trigger` when a ``corrupt`` rule fired — the
 #: call site (checksum verification) interprets it as "the bytes are bad".
 CORRUPT = "corrupt"
+
+#: Marker returned when a ``kill`` rule fired — a supervised worker
+#: interprets it by hard-exiting (``os._exit``), simulating an OOM-kill.
+KILL = "kill"
+
+#: Marker returned when a ``hang`` rule fired — a supervised worker
+#: interprets it by silently wedging (heartbeats stop, the block never
+#: completes) until the supervisor's liveness timeout SIGKILLs it.
+HANG = "hang"
 
 
 class InjectedFault(OSError):
@@ -203,8 +241,10 @@ class FaultPlan:
         """Fire whatever rule is due at ``site``; see module docstring.
 
         Returns :data:`CORRUPT` when a ``corrupt`` rule fired (the caller
-        acts on it), ``None`` otherwise; ``raise`` rules raise, ``sleep``
-        rules block for ``rule.delay`` seconds then return ``None``.
+        acts on it) and likewise :data:`KILL`/:data:`HANG` for the
+        worker-interpreted actions, ``None`` otherwise; ``raise`` rules
+        raise, ``sleep`` rules block for ``rule.delay`` seconds then
+        return ``None``.
         """
         rule = self._decide(site)
         if rule is None:
@@ -212,8 +252,8 @@ class FaultPlan:
         if rule.action == "sleep":
             self._sleep(rule.delay)
             return None
-        if rule.action == "corrupt":
-            return CORRUPT
+        if rule.action in (CORRUPT, KILL, HANG):
+            return rule.action
         message = rule.message or (
             f"injected fault at {site}"
             + (f" ({context})" if context else "")

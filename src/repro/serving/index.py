@@ -39,6 +39,8 @@ import numpy as np
 from repro.exceptions import (
     BudgetError,
     ConfigurationError,
+    DeadlineExceeded,
+    ExecutionInterrupted,
     IndexMismatchError,
     ServingError,
 )
@@ -149,14 +151,19 @@ class InfluenceIndex:
         engine_seed: int = 0,
         block_size: int = DEFAULT_BLOCK_SIZE,
         deadline: Optional[Deadline] = None,
+        workers: int = 1,
+        checkpoint=None,
+        stop=None,
     ) -> "InfluenceIndex":
         """Sample ``theta`` RR sets under ``model`` and wrap them as an index.
 
         ``engine_seed`` must be an integer (not a live generator) because it
         is persisted with the artifact and replayed by :meth:`grow`.
         A ``deadline`` bounds the sampling loop: expiry between blocks
-        raises :class:`~repro.exceptions.DeadlineExceeded` (the partial
-        index is discarded — the token stream makes a re-build identical).
+        raises :class:`~repro.exceptions.DeadlineExceeded` (with no
+        ``checkpoint`` the partial index is discarded — the token stream
+        makes a re-build identical).  ``workers``, ``checkpoint`` and
+        ``stop`` are forwarded to :meth:`grow`.
         """
         if not isinstance(engine_seed, (int, np.integer)):
             raise ConfigurationError(
@@ -174,7 +181,13 @@ class InfluenceIndex:
             block_size=block_size,
         )
         if theta:
-            index.grow(theta, deadline=deadline)
+            index.grow(
+                theta,
+                deadline=deadline,
+                workers=workers,
+                checkpoint=checkpoint,
+                stop=stop,
+            )
         return index
 
     @classmethod
@@ -259,7 +272,13 @@ class InfluenceIndex:
     # ------------------------------------------------------------------ growth
 
     def grow(
-        self, theta: int, *, deadline: Optional[Deadline] = None
+        self,
+        theta: int,
+        *,
+        deadline: Optional[Deadline] = None,
+        workers: int = 1,
+        checkpoint=None,
+        stop=None,
     ) -> "InfluenceIndex":
         """Grow the stored collection to ``theta`` RR sets (no-op if smaller).
 
@@ -274,9 +293,23 @@ class InfluenceIndex:
         instead of hanging the caller.  The appended blocks before expiry
         are kept (the collection is simply shorter than requested), and a
         later grow resumes the token stream exactly.
+
+        ``workers > 1`` fans the sampler blocks out to a
+        :class:`~repro.runtime.pool.SupervisedPool`: the engine generator
+        is consumed *here*, in serial block order, and workers receive the
+        pre-drawn token blocks — so the grown collection is bit-for-bit
+        identical to the serial path whatever the worker count, scheduling
+        order, or crash/replay history.  ``checkpoint`` (a
+        :class:`~repro.runtime.checkpoint.BuildCheckpoint`) persists the
+        appended prefix periodically and on interrupt/deadline expiry;
+        ``stop`` is a zero-arg predicate polled at block boundaries that
+        requests a cooperative halt via
+        :class:`~repro.exceptions.ExecutionInterrupted`.
         """
         if theta < 0:
             raise ConfigurationError(f"theta must be non-negative, got {theta}")
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
         with self._lock:
             existing = self.collection.num_sets
             if theta <= existing:
@@ -305,35 +338,127 @@ class InfluenceIndex:
                     "repro_index_grow_blocks_total",
                     "Sampler blocks executed by index build/grow loops.",
                 )
+
+            def append_block(members: np.ndarray, indptr: np.ndarray) -> None:
+                block = int(indptr.size - 1)
+                self.collection.append(members, indptr)
+                if sets_total is not None and blocks_total is not None:
+                    sets_total.inc(block)
+                    blocks_total.inc()
+                if checkpoint is not None:
+                    checkpoint.maybe_save(self, theta)
+
             # Same chunking as sampler.sample_into (block boundaries are
             # what make growth block-size invariant), with a deadline check
             # and a fault-injection site per block.
-            with span(
-                "index_grow",
-                model=self.model,
-                start=int(existing),
-                target=int(theta),
-            ):
-                while self.collection.num_sets < theta:
-                    if deadline is not None:
-                        deadline.check("sample")
-                    faults.trigger(
-                        faults.SITE_BUILD,
-                        context=f"{self.model} theta={self.collection.num_sets}",
-                    )
-                    block = min(
-                        self.block_size, theta - self.collection.num_sets
-                    )
-                    members, indptr, _ = sampler.sample(rng, block)
-                    self.collection.append(members, indptr)
-                    if sets_total is not None and blocks_total is not None:
-                        sets_total.inc(block)
-                        blocks_total.inc()
+            try:
+                with span(
+                    "index_grow",
+                    model=self.model,
+                    start=int(existing),
+                    target=int(theta),
+                    workers=int(workers),
+                ):
+                    if workers > 1:
+                        self._grow_parallel(
+                            sampler, rng, theta, workers, deadline, stop,
+                            append_block,
+                        )
+                    else:
+                        while self.collection.num_sets < theta:
+                            if stop is not None and stop():
+                                raise ExecutionInterrupted(
+                                    "sample", self.collection.num_sets
+                                )
+                            if deadline is not None:
+                                deadline.check("sample")
+                            faults.trigger(
+                                faults.SITE_BUILD,
+                                context=(
+                                    f"{self.model} "
+                                    f"theta={self.collection.num_sets}"
+                                ),
+                            )
+                            block = min(
+                                self.block_size,
+                                theta - self.collection.num_sets,
+                            )
+                            members, indptr, _ = sampler.sample(rng, block)
+                            append_block(members, indptr)
+            except (ExecutionInterrupted, DeadlineExceeded):
+                # The appended prefix is a valid partial build; persist it
+                # so an interrupted/overdue build is resumable instead of
+                # wasted.
+                if checkpoint is not None:
+                    checkpoint.save(self, theta)
+                self._selection_cache.clear()
+                raise
             self._selection_cache.clear()
             # Consolidation copies the mapped arrays into memory, so the
             # grown index is fully resident whatever its origin.
             self.memory_mapped = False
             return self
+
+    def _grow_parallel(
+        self,
+        sampler: BatchRRSampler,
+        rng: np.random.Generator,
+        theta: int,
+        workers: int,
+        deadline: Optional[Deadline],
+        stop,
+        append_block,
+    ) -> None:
+        """Fan pre-drawn token blocks out to a supervised pool.
+
+        Tokens are drawn from ``rng`` here, block by block in serial order
+        — the exact draws the serial loop would have made — and the pool's
+        in-order result callback appends blocks in that same order, so
+        parallelism never touches the randomness stream.  Workers map the
+        graph's CSR from a scratch :class:`SharedGraph` dump rather than
+        inheriting or pickling it.
+        """
+        from repro.runtime.pool import SupervisedPool
+        from repro.runtime.sharedgraph import share_graph
+        from repro.sketches.sampler import (
+            sampler_worker_init,
+            sampler_worker_run,
+        )
+
+        payloads: List[np.ndarray] = []
+        remaining = theta - self.collection.num_sets
+        while remaining > 0:
+            block = min(self.block_size, remaining)
+            payloads.append(sampler.draw_tokens(rng, block))
+            remaining -= block
+
+        def on_result(index: int, result) -> None:
+            members, indptr, _ = result
+            faults.trigger(
+                faults.SITE_BUILD,
+                context=f"{self.model} theta={self.collection.num_sets}",
+            )
+            append_block(members, indptr)
+
+        shared = share_graph(self.graph)
+        pool = SupervisedPool(
+            sampler_worker_run,
+            workers=workers,
+            init_fn=sampler_worker_init,
+            init_args=(shared, self.model),
+            name="index-grow",
+        )
+        try:
+            pool.run(
+                payloads,
+                deadline=deadline,
+                deadline_stage="sample",
+                stop=stop,
+                on_result=on_result,
+            )
+        finally:
+            pool.close()
+            shared.cleanup()
 
     # ----------------------------------------------------------------- queries
 

@@ -142,6 +142,29 @@ def in_edge_probabilities(graph: CompiledGraph, model: str) -> np.ndarray:
     return np.repeat(1.0 / safe, np.diff(graph.in_indptr))
 
 
+#: Per-worker-process sampler installed by :func:`sampler_worker_init`.
+_WORKER_STATE: dict = {}
+
+
+def sampler_worker_init(graph, model: str) -> None:
+    """Build the worker-side sampler once per supervised worker process.
+
+    ``graph`` is either a :class:`~repro.graphs.digraph.CompiledGraph` or a
+    picklable handle exposing ``load_compiled()`` (the runtime's mmap-backed
+    :class:`~repro.runtime.sharedgraph.SharedGraph`), so workers on spawn
+    platforms map the CSR arrays instead of copying them.
+    """
+    loader = getattr(graph, "load_compiled", None)
+    if loader is not None:
+        graph = loader()
+    _WORKER_STATE["sampler"] = BatchRRSampler(graph, model)
+
+
+def sampler_worker_run(tokens: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Worker-side block task: sample the RR sets of one token block."""
+    return _WORKER_STATE["sampler"].sample_tokens(tokens)
+
+
 class BatchRRSampler:
     """Draws blocks of RR sets on a compiled graph under ``ic``/``wc``/``lt``.
 
@@ -263,7 +286,25 @@ class BatchRRSampler:
             raise ConfigurationError(f"count must be non-negative, got {count}")
         if count == 0 or self.n == 0:
             return _EMPTY.copy(), np.zeros(count + 1, dtype=np.int64), _EMPTY.copy()
-        tokens = self.draw_tokens(rng, count)
+        return self.sample_tokens(self.draw_tokens(rng, count))
+
+    def sample_tokens(
+        self, tokens: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample one RR set per entry of ``tokens`` (see :meth:`sample`).
+
+        This is the replay primitive behind the supervised runtime: a
+        token fully determines its RR set (root and every uniform), so any
+        process sampling the same token block — first try, crash replay or
+        in-process fallback — produces bit-for-bit identical CSR arrays.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.size == 0 or self.n == 0:
+            return (
+                _EMPTY.copy(),
+                np.zeros(tokens.size + 1, dtype=np.int64),
+                _EMPTY.copy(),
+            )
         roots = (tokens % self.n).astype(np.int64)
         streams = _mix64(tokens.astype(np.uint64))
         if self.model == "lt":

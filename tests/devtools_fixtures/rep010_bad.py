@@ -1,0 +1,19 @@
+"""Fixture: raw process pools (REP010 must fire three times)."""
+import multiprocessing
+import multiprocessing.pool
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(fn, items):
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(fn, items)
+
+
+def fan_out_inner(fn, items):
+    with multiprocessing.pool.Pool(2) as pool:
+        return pool.map(fn, items)
+
+
+def fan_out_futures(fn, items):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(fn, items))

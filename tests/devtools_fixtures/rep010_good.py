@@ -1,0 +1,14 @@
+"""Fixture: fan-out through the supervised runtime (REP010 must stay quiet)."""
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.runtime import SupervisedPool
+
+
+def fan_out(task_fn, payloads):
+    with SupervisedPool(task_fn, workers=2) as pool:
+        return pool.run(payloads)
+
+
+def thread_fan_out(fn, items):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(fn, items))

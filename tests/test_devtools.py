@@ -56,6 +56,7 @@ RULE_FIXTURES = [
     ("REP007", "rep007_bad.py", "rep007_good.py", 1),
     ("REP008", "rep008_bad.py", "rep008_good.py", 1),
     ("REP009", "rep009_bad.py", "rep009_good.py", 5),
+    ("REP010", "rep010_bad.py", "rep010_good.py", 3),
 ]
 
 
@@ -123,7 +124,7 @@ class TestFramework:
 
     def test_all_rules_cover_the_documented_set(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == [f"REP00{i}" for i in range(1, 10)]
+        assert codes == [f"REP{i:03d}" for i in range(1, 11)]
 
     def test_rule_filtering(self):
         report = run_lint(
