@@ -1,12 +1,17 @@
 """Developer tooling: the invariant linter and the runtime lock checker.
 
-``repro lint`` (and the CI ``lint`` job) runs the AST-based rules in
+``repro lint`` (and the CI ``lint`` jobs) runs the AST-based rules in
 :mod:`repro.devtools.rules` over ``src/``; the framework —
 registration, ``# repro: noqa[RULE]`` suppressions, the committed
 baseline and the JSON/human reporters — lives in
-:mod:`repro.devtools.framework`.  :mod:`repro.devtools.lockcheck` holds
-the declared serving-layer lock hierarchy plus the runtime monitor the
-chaos suite runs under (``REPRO_LOCKCHECK=1``).
+:mod:`repro.devtools.framework`.  The whole-program layer —
+:mod:`repro.devtools.callgraph` (one-parse project index + conservative
+call graph) and :mod:`repro.devtools.flow` (interprocedural determinism
+taint, static lock-order and exception-contract passes, REP011–REP013)
+— runs once per lint after the per-file rules.
+:mod:`repro.devtools.lockcheck` holds the declared serving-layer lock
+hierarchy plus the runtime monitor the chaos suite runs under
+(``REPRO_LOCKCHECK=1``).
 
 This package is import-light on purpose: it depends only on the
 standard library and :mod:`repro.exceptions`, so linting never drags in
@@ -18,6 +23,8 @@ from repro.devtools.framework import (
     Finding,
     LintReport,
     ModuleContext,
+    ProjectContext,
+    ProjectRule,
     Rule,
     all_rules,
     get_rule,
@@ -41,6 +48,8 @@ __all__ = [
     "LintReport",
     "LockOrderMonitor",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "get_rule",

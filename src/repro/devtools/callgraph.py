@@ -1,0 +1,687 @@
+"""Whole-program call-graph construction for the cross-module lint passes.
+
+The per-file rules (REP001–REP010) see one AST at a time, so an invariant
+violation laundered through a helper function — a wall-clock read two
+calls away from a deterministic zone, a lock acquired down a call chain —
+is invisible to them.  This module parses the whole project **once**,
+resolves a conservative call graph, and hands it to the interprocedural
+passes in :mod:`repro.devtools.flow` (REP011–REP013).
+
+Design points, mirroring the paper's precompute-an-index-once idiom:
+
+* **One parse per file per run.**  ASTs are cached process-wide keyed by
+  ``(path, mtime_ns, size)`` (:func:`parse_cached`), so the per-file rules,
+  the project build, and repeated ``run_lint`` calls in one process (the
+  test suite) never re-parse an unchanged file.  This is what keeps the
+  whole-tree analysis inside its CI wall-time budget.
+* **Conservative resolution.**  The graph over-approximates: a call that
+  *may* target a project function produces an edge.  Resolved forms:
+  module-level functions (direct, via import alias, via module attribute),
+  methods (``self.m()`` through the project MRO, ``Cls.m()``,
+  ``obj.m()`` for locals whose class is statically known from a
+  constructor call or annotation, and a unique-attribute fallback when
+  exactly one project class defines the name), ``functools.partial(f, …)``
+  sites, and bare function references passed as call arguments —
+  which is how the algorithm registry and the serving layer register
+  callbacks.  Nested ``def``\\ s become their own nodes with a ``ref``
+  edge from the enclosing function (conservatively assumed called).
+* **Cycle-safe queries.**  Recursion is expected; traversals
+  (:meth:`CallGraph.reachable`, the fixpoints in ``flow``) are iterative
+  worklist algorithms over the finite node set.
+
+Everything here is stdlib-only so linting never imports numpy or the
+engines it is analyzing.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ParsedModule",
+    "Project",
+    "parse_cached",
+]
+
+#: Process-wide AST cache: absolute path -> (mtime_ns, size, tree).
+#: Rules treat trees as read-only, so sharing across runs is safe.
+_AST_CACHE: Dict[str, Tuple[int, int, ast.Module]] = {}
+
+
+def parse_cached(path: pathlib.Path, source: Optional[str] = None) -> ast.Module:
+    """Parse ``path`` reusing the mtime-keyed cache when it is unchanged.
+
+    ``source`` may be supplied when the caller already read the file (the
+    lint driver does, for suppression scanning) to avoid a second read on
+    a cache miss.
+    """
+    path = pathlib.Path(path)
+    key = str(path)
+    try:
+        stat = path.stat()
+        mtime_ns, size = stat.st_mtime_ns, stat.st_size
+    except OSError:
+        mtime_ns, size = -1, -1
+    cached = _AST_CACHE.get(key)
+    if cached is not None and cached[0] == mtime_ns and cached[1] == size:
+        return cached[2]
+    if source is None:
+        source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=key)
+    if mtime_ns >= 0:
+        _AST_CACHE[key] = (mtime_ns, size, tree)
+    return tree
+
+
+def _dotted_module_name(relpath: str) -> str:
+    parts = pathlib.PurePosixPath(relpath.replace("\\", "/")).parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return ""
+    last = parts[-1]
+    if last.endswith(".py"):
+        last = last[:-3]
+    if last == "__init__":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + (last,)
+    return ".".join(parts)
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function or method node in the project."""
+
+    qname: str
+    name: str
+    module: "ParsedModule"
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_qname: Optional[str]
+    lineno: int
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_")
+
+    @property
+    def relpath(self) -> str:
+        return self.module.relpath
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class: its methods, declared bases and lock-valued attributes."""
+
+    qname: str
+    name: str
+    module: "ParsedModule"
+    node: ast.ClassDef
+    bases: List[str] = dataclasses.field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    #: attribute name -> lineno of ``self.attr = threading.Lock()/RLock()/
+    #: Condition()`` assignments found in any method body.
+    lock_attrs: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+
+class ParsedModule:
+    """One parsed source module plus its import table."""
+
+    def __init__(self, path: pathlib.Path, relpath: str, tree: ast.Module) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.tree = tree
+        self.dotted = _dotted_module_name(relpath)
+        #: local alias -> fully qualified origin (module or module.attr).
+        self.imports: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module is not None:
+                module = node.module
+                if node.level:
+                    # Relative import: resolve against this module's package.
+                    package = self.dotted.split(".")
+                    # ``from . import x`` inside pkg/__init__.py refers to
+                    # pkg; inside pkg/mod.py it also refers to pkg.
+                    if self.path.name != "__init__.py":
+                        package = package[:-1]
+                    package = package[: len(package) - (node.level - 1)]
+                    module = ".".join(package + [node.module])
+                for alias in node.names:
+                    if alias.name != "*":
+                        self.imports[alias.asname or alias.name] = f"{module}.{alias.name}"
+            elif isinstance(node, ast.ImportFrom) and node.module is None and node.level:
+                package = self.dotted.split(".")
+                if self.path.name != "__init__.py":
+                    package = package[:-1]
+                package = package[: len(package) - (node.level - 1)]
+                for alias in node.names:
+                    if alias.name != "*":
+                        self.imports[alias.asname or alias.name] = (
+                            ".".join(package + [alias.name])
+                        )
+
+    def attribute(self, name: str) -> Optional[object]:
+        """Constant module-level assignment ``name = <expr>``, if any."""
+        for node in self.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and target.id == name:
+                    try:
+                        return ast.literal_eval(node.value)
+                    except (ValueError, SyntaxError):
+                        return None
+        return None
+
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+
+def _is_lock_expr(value: ast.expr) -> bool:
+    """Whether ``value`` constructs a threading lock primitive."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute) and func.attr in _LOCK_FACTORIES:
+        return True
+    if isinstance(func, ast.Name) and func.id in _LOCK_FACTORIES:
+        return True
+    return False
+
+
+class Project:
+    """All parsed modules of one lint run, indexed for whole-program passes."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ParsedModule] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: class short name -> qnames (for base-class resolution fallback).
+        self._class_by_name: Dict[str, List[str]] = {}
+        #: method/attr name -> function qnames defining it (unique-attribute
+        #: fallback during call resolution).
+        self._methods_by_name: Dict[str, List[str]] = {}
+        #: module-level lock assignments: (module, name) -> lineno.
+        self.module_locks: Dict[Tuple[str, str], int] = {}
+
+    # ---------------------------------------------------------------- build
+
+    @classmethod
+    def build(
+        cls, entries: Iterable[Tuple[pathlib.Path, str, ast.Module]]
+    ) -> "Project":
+        """Index ``(path, relpath, tree)`` triples into a project."""
+        project = cls()
+        for path, relpath, tree in entries:
+            module = ParsedModule(path, relpath, tree)
+            project.modules[module.dotted] = module
+            project._index_module(module)
+        return project
+
+    def _index_module(self, module: ParsedModule) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node, class_qname=None, prefix=module.dotted)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(module, node)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and _is_lock_expr(node.value):
+                    self.module_locks[(module.dotted, target.id)] = node.lineno
+
+    def _add_class(self, module: ParsedModule, node: ast.ClassDef) -> None:
+        qname = f"{module.dotted}.{node.name}" if module.dotted else node.name
+        info = ClassInfo(qname=qname, name=node.name, module=module, node=node)
+        for base in node.bases:
+            rendered = _render_chain(base)
+            if rendered:
+                info.bases.append(rendered)
+        self.classes[qname] = info
+        self._class_by_name.setdefault(node.name, []).append(qname)
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = self._add_function(
+                    module, child, class_qname=qname, prefix=qname
+                )
+                info.methods[child.name] = method
+                for stmt in ast.walk(child):
+                    if (
+                        isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Attribute)
+                        and isinstance(stmt.targets[0].value, ast.Name)
+                        and stmt.targets[0].value.id == "self"
+                        and _is_lock_expr(stmt.value)
+                    ):
+                        info.lock_attrs.setdefault(
+                            stmt.targets[0].attr, stmt.lineno
+                        )
+
+    def _add_function(
+        self,
+        module: ParsedModule,
+        node: ast.AST,
+        class_qname: Optional[str],
+        prefix: str,
+    ) -> FunctionInfo:
+        name = node.name  # type: ignore[attr-defined]
+        qname = f"{prefix}.{name}" if prefix else name
+        info = FunctionInfo(
+            qname=qname,
+            name=name,
+            module=module,
+            node=node,
+            class_qname=class_qname,
+            lineno=node.lineno,  # type: ignore[attr-defined]
+        )
+        self.functions[qname] = info
+        self._methods_by_name.setdefault(name, []).append(qname)
+        # Nested defs become their own nodes; CallGraph adds a ref edge
+        # from the encloser so flow passes see through the closure.
+        for child in node.body:  # type: ignore[attr-defined]
+            self._index_nested(module, child, class_qname, qname)
+        return info
+
+    def _index_nested(
+        self,
+        module: ParsedModule,
+        node: ast.stmt,
+        class_qname: Optional[str],
+        prefix: str,
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, child, class_qname, prefix)
+            elif not isinstance(child, ast.ClassDef):
+                if isinstance(child, ast.stmt):
+                    self._index_nested(module, child, class_qname, prefix)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+
+    # ----------------------------------------------------------- resolution
+
+    def resolve_class(self, name: str, module: ParsedModule) -> Optional[ClassInfo]:
+        """Resolve a (possibly dotted or imported) class name to its info."""
+        origin = module.imports.get(name.split(".")[0])
+        candidates = []
+        if origin is not None:
+            rest = name.split(".")[1:]
+            candidates.append(".".join([origin] + rest))
+        if module.dotted:
+            candidates.append(f"{module.dotted}.{name}")
+        candidates.append(name)
+        for candidate in candidates:
+            found = self.classes.get(candidate)
+            if found is not None:
+                return found
+            # ``from pkg import Cls`` where Cls is re-exported: fall back to
+            # the unique project class with that short name.
+            short = candidate.split(".")[-1]
+            by_name = self._class_by_name.get(short, [])
+            if len(by_name) == 1:
+                return self.classes[by_name[0]]
+        return None
+
+    def mro(self, class_qname: str) -> List[ClassInfo]:
+        """Breadth-first linearisation of the project-resolvable bases."""
+        result: List[ClassInfo] = []
+        seen: Set[str] = set()
+        queue = [class_qname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            result.append(info)
+            for base in info.bases:
+                resolved = self.resolve_class(base, info.module)
+                if resolved is not None:
+                    queue.append(resolved.qname)
+        return result
+
+    def resolve_method(self, class_qname: str, attr: str) -> Optional[FunctionInfo]:
+        for info in self.mro(class_qname):
+            method = info.methods.get(attr)
+            if method is not None:
+                return method
+        return None
+
+    def unique_method(self, attr: str) -> Optional[FunctionInfo]:
+        """The single project function named ``attr``, if unambiguous.
+
+        Used as a conservative fallback for ``obj.attr()`` calls on objects
+        whose class is not statically known — when exactly one project
+        function has that name, the call is assumed to (possibly) target
+        it.  Dunder and otherwise ubiquitous names are excluded by the
+        caller.
+        """
+        qnames = self._methods_by_name.get(attr, [])
+        if len(qnames) == 1:
+            return self.functions[qnames[0]]
+        return None
+
+    def lock_attr_owner(self, class_qname: str, attr: str) -> Optional[ClassInfo]:
+        """The class in ``class_qname``'s MRO declaring lock attr ``attr``."""
+        for info in self.mro(class_qname):
+            if attr in info.lock_attrs:
+                return info
+        return None
+
+
+def _render_chain(node: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class CallSite:
+    """One resolved potential call edge ``caller -> callee``."""
+
+    callee: str
+    lineno: int
+    col: int
+    kind: str  # "call" | "method" | "partial" | "ref" | "nested"
+
+
+#: Attribute names too generic for the unique-attribute fallback.
+_FALLBACK_EXCLUDED = {
+    "append", "add", "get", "items", "keys", "values", "pop", "update",
+    "copy", "join", "split", "strip", "format", "read", "write", "close",
+    "extend", "sort", "index", "count", "clear", "remove", "insert",
+    "acquire", "release", "wait", "notify", "notify_all", "set", "start",
+    "run", "stop", "check", "load", "save", "build", "reset",
+}
+
+
+class CallGraph:
+    """Adjacency of :class:`CallSite` edges over a :class:`Project`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.edges: Dict[str, List[CallSite]] = {q: [] for q in project.functions}
+        self.callers: Dict[str, List[Tuple[str, CallSite]]] = {
+            q: [] for q in project.functions
+        }
+
+    # ---------------------------------------------------------------- build
+
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        graph = cls(project)
+        for info in project.functions.values():
+            graph._resolve_function(info)
+        for caller, sites in graph.edges.items():
+            for site in sites:
+                graph.callers[site.callee].append((caller, site))
+        return graph
+
+    def _add_edge(self, caller: str, site: CallSite) -> None:
+        self.edges[caller].append(site)
+
+    def _resolve_function(self, info: FunctionInfo) -> None:
+        module = info.module
+        local_types = self._local_types(info)
+        for node in self._own_body(info.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested def: ref edge (conservatively assumed called).
+                nested_qname = f"{info.qname}.{node.name}"
+                if nested_qname in self.project.functions:
+                    self._add_edge(
+                        info.qname,
+                        CallSite(nested_qname, node.lineno, node.col_offset, "nested"),
+                    )
+                continue
+            if isinstance(node, ast.Call):
+                self._resolve_call(info, node, module, local_types)
+                for argument in list(node.args) + [kw.value for kw in node.keywords]:
+                    self._resolve_reference(info, argument, module)
+
+    def _own_body(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``node``'s body without descending into nested defs."""
+        stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+        while stack:
+            current = stack.pop()
+            yield current
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(current))
+
+    def _local_types(self, info: FunctionInfo) -> Dict[str, str]:
+        """Map local names to project class qnames when statically known."""
+        types: Dict[str, str] = {}
+        if info.class_qname is not None:
+            types["self"] = info.class_qname
+            types["cls"] = info.class_qname
+        arguments = getattr(info.node, "args", None)
+        if arguments is not None:
+            for arg in (
+                list(arguments.posonlyargs)
+                + list(arguments.args)
+                + list(arguments.kwonlyargs)
+            ):
+                if arg.annotation is not None:
+                    annotation = arg.annotation
+                    if isinstance(annotation, ast.Constant) and isinstance(
+                        annotation.value, str
+                    ):
+                        name: Optional[str] = annotation.value
+                    else:
+                        name = _render_chain(annotation)
+                    if name:
+                        resolved = self.project.resolve_class(
+                            name.strip("\"'"), info.module
+                        )
+                        if resolved is not None:
+                            types[arg.arg] = resolved.qname
+        for node in self._own_body(info.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                chain = _render_chain(node.value.func)
+                if chain:
+                    resolved = self.project.resolve_class(chain, info.module)
+                    if resolved is not None:
+                        types[node.targets[0].id] = resolved.qname
+        return types
+
+    def _resolve_call(
+        self,
+        info: FunctionInfo,
+        node: ast.Call,
+        module: ParsedModule,
+        local_types: Dict[str, str],
+    ) -> None:
+        func = node.func
+        lineno, col = node.lineno, node.col_offset
+        # functools.partial(f, ...) — edge to f.
+        chain = _render_chain(func)
+        if chain is not None:
+            origin = module.imports.get(chain.split(".")[0], chain.split(".")[0])
+            full = ".".join([origin] + chain.split(".")[1:])
+            if full in ("functools.partial", "partial") and node.args:
+                target = self._resolve_target(node.args[0], info, module, local_types)
+                if target is not None:
+                    self._add_edge(
+                        info.qname, CallSite(target.qname, lineno, col, "partial")
+                    )
+        if isinstance(func, ast.Name):
+            target = self._resolve_name(func.id, module)
+            if target is not None:
+                self._add_edge(info.qname, CallSite(target.qname, lineno, col, "call"))
+                return
+            # Constructor call: edge to __init__ when the project defines it.
+            klass = self.project.resolve_class(func.id, module)
+            if klass is not None:
+                init = self.project.resolve_method(klass.qname, "__init__")
+                if init is not None:
+                    self._add_edge(
+                        info.qname, CallSite(init.qname, lineno, col, "call")
+                    )
+            return
+        if isinstance(func, ast.Attribute):
+            target = self._resolve_attribute_call(func, info, module, local_types)
+            if target is not None:
+                self._add_edge(info.qname, CallSite(target.qname, lineno, col, "method"))
+
+    def _resolve_name(
+        self, name: str, module: ParsedModule
+    ) -> Optional[FunctionInfo]:
+        origin = module.imports.get(name)
+        if origin is not None and origin in self.project.functions:
+            return self.project.functions[origin]
+        if module.dotted:
+            local = f"{module.dotted}.{name}"
+            if local in self.project.functions:
+                return self.project.functions[local]
+        if origin is not None:
+            # ``from pkg import helper`` re-exported through __init__:
+            # fall back to the unique project function with that name.
+            short = origin.split(".")[-1]
+            if short not in _FALLBACK_EXCLUDED:
+                unique = self.project.unique_method(short)
+                if unique is not None:
+                    return unique
+        return None
+
+    def _resolve_attribute_call(
+        self,
+        func: ast.Attribute,
+        info: FunctionInfo,
+        module: ParsedModule,
+        local_types: Dict[str, str],
+    ) -> Optional[FunctionInfo]:
+        attr = func.attr
+        value = func.value
+        # self.m() / cls.m() / typed-local.m()
+        if isinstance(value, ast.Name):
+            owner = local_types.get(value.id)
+            if owner is not None:
+                method = self.project.resolve_method(owner, attr)
+                if method is not None:
+                    return method
+                return None  # known class, unknown attr: not a project call
+            # ClassName.m()
+            klass = self.project.resolve_class(value.id, module)
+            if klass is not None:
+                return self.project.resolve_method(klass.qname, attr)
+            # module alias: pkg.helper() / pkg.sub.helper()
+        chain = _render_chain(func)
+        if chain is not None:
+            head, *rest = chain.split(".")
+            origin = module.imports.get(head)
+            if origin is not None and rest:
+                qname = ".".join([origin] + rest)
+                if qname in self.project.functions:
+                    return self.project.functions[qname]
+                # pkg.Class.method / pkg.Class() constructor chains
+                klass = self.project.classes.get(".".join([origin] + rest[:-1]))
+                if klass is not None:
+                    return self.project.resolve_method(klass.qname, rest[-1])
+        # ClassName().m() — constructor result
+        if isinstance(value, ast.Call):
+            vchain = _render_chain(value.func)
+            if vchain is not None:
+                klass = self.project.resolve_class(vchain, module)
+                if klass is not None:
+                    return self.project.resolve_method(klass.qname, attr)
+        # Unique-attribute fallback: obj.m() with unknown obj.
+        if attr not in _FALLBACK_EXCLUDED and not attr.startswith("__"):
+            return self.project.unique_method(attr)
+        return None
+
+    def _resolve_target(
+        self,
+        node: ast.expr,
+        info: FunctionInfo,
+        module: ParsedModule,
+        local_types: Dict[str, str],
+    ) -> Optional[FunctionInfo]:
+        """Resolve a *reference* (not a call) to a project function."""
+        if isinstance(node, ast.Name):
+            return self._resolve_name(node.id, module)
+        if isinstance(node, ast.Attribute):
+            return self._resolve_attribute_call(node, info, module, local_types)
+        return None
+
+    def _resolve_reference(
+        self, info: FunctionInfo, node: ast.expr, module: ParsedModule
+    ) -> None:
+        """Function names passed as arguments register a may-call edge."""
+        if isinstance(node, ast.Name):
+            target = self._resolve_name(node.id, module)
+            if target is not None:
+                self._add_edge(
+                    info.qname,
+                    CallSite(target.qname, node.lineno, node.col_offset, "ref"),
+                )
+        elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            # self.method as a callback argument.
+            if node.value.id == "self" and info.class_qname is not None:
+                method = self.project.resolve_method(info.class_qname, node.attr)
+                if method is not None:
+                    self._add_edge(
+                        info.qname,
+                        CallSite(method.qname, node.lineno, node.col_offset, "ref"),
+                    )
+
+    # --------------------------------------------------------------- queries
+
+    def callees(self, qname: str) -> List[CallSite]:
+        return self.edges.get(qname, [])
+
+    def reachable(self, start: Sequence[str]) -> Set[str]:
+        """All functions reachable from ``start`` (worklist, cycle-safe)."""
+        seen: Set[str] = set()
+        queue = [q for q in start if q in self.edges]
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for site in self.edges.get(current, ()):
+                if site.callee not in seen:
+                    queue.append(site.callee)
+        return seen
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dump for ``repro lint --callgraph``."""
+        return {
+            "version": 1,
+            "functions": {
+                qname: {
+                    "path": info.relpath,
+                    "line": info.lineno,
+                    "class": info.class_qname,
+                }
+                for qname, info in sorted(self.project.functions.items())
+            },
+            "edges": {
+                qname: [
+                    {"callee": s.callee, "line": s.lineno, "kind": s.kind}
+                    for s in sites
+                ]
+                for qname, sites in sorted(self.edges.items())
+                if sites
+            },
+        }

@@ -1,0 +1,1039 @@
+"""Interprocedural dataflow passes over the project call graph.
+
+Three whole-program analyses run on the :class:`~repro.devtools.callgraph.
+CallGraph`, each the cross-module counterpart of an existing per-file
+rule:
+
+* :class:`DeterminismTaint` (REP011) — taint *sources* (wall-clock reads,
+  ``np.random``/``random`` global state, ``os.urandom``/``uuid``, ``id()``,
+  iteration over ``set`` values feeding order-sensitive sinks) propagated
+  backwards through the call graph into the declared deterministic zones;
+  any zone function that can reach a source is reported with the full
+  call chain.
+* :class:`LockOrderAnalysis` (REP012) — the lock-acquisition graph
+  inferred from ``with self._lock``-style sites *across* functions,
+  checked against the hierarchy :mod:`repro.devtools.lockcheck` declares;
+  cycles the runtime monitor could only catch if the schedule happened to
+  exercise them are found with zero execution.
+* :class:`ExceptionContractAnalysis` (REP013) — each contracted public
+  API function's raisable-exception set computed through the call graph
+  (with ``try/except`` filtering at every call site) and checked against
+  the declared contract table seeded from the :mod:`repro.exceptions`
+  taxonomy.
+
+All passes are worklist fixpoints with provenance: every propagated fact
+remembers its next hop toward the originating site, so findings carry a
+human-readable call chain.  Chains name functions only (no line numbers)
+to keep finding fingerprints stable while code moves around.
+
+Modules can opt into the analyses' scoped checks:
+
+* ``__repro_deterministic__ = True`` declares the module part of the
+  deterministic zone (fixtures and future subsystems use this; the
+  shipped zones are listed in :data:`DETERMINISTIC_ZONES`).
+* ``__repro_exception_contract__ = {"func" | "Cls.method": ["ExcName",
+  ...]}`` declares per-module exception contracts merged over
+  :data:`DEFAULT_EXCEPTION_CONTRACTS`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.callgraph import CallGraph, FunctionInfo, Project
+from repro.devtools.lockcheck import LOCK_HIERARCHY, STATIC_LOCK_MAP
+
+__all__ = [
+    "DETERMINISTIC_ZONES",
+    "DEFAULT_EXCEPTION_CONTRACTS",
+    "DeterminismTaint",
+    "ExceptionContractAnalysis",
+    "LockOrderAnalysis",
+    "SourceSite",
+    "TaintFinding",
+    "LockFinding",
+    "ContractFinding",
+]
+
+#: Dotted module prefixes whose functions must stay bit-for-bit
+#: deterministic: the sketch/RIS engine, the crash-safe runtime (replay),
+#: the incremental score engine, and the influence index (grown==fresh).
+DETERMINISTIC_ZONES: Tuple[str, ...] = (
+    "repro.sketches",
+    "repro.runtime",
+    "repro.scoring",
+    "repro.serving.index",
+    # Fingerprints, CSR compilation and seed-exact generators are what
+    # replay keys on; nondeterminism here silently invalidates every zone
+    # downstream.
+    "repro.graphs",
+)
+
+#: Modules whose nondeterminism is *parameter-controlled* (``seed=None``
+#: opts in); taint does not propagate through them.  This is the one
+#: sanctioned boundary between "all randomness" and "explicit seeds".
+TAINT_BOUNDARY_MODULES: Tuple[str, ...] = ("repro.utils.rng",)
+
+ZONE_MARKER = "__repro_deterministic__"
+CONTRACT_MARKER = "__repro_exception_contract__"
+
+_RANK: Dict[str, int] = {name: rank for rank, name in enumerate(LOCK_HIERARCHY)}
+
+
+# =====================================================================
+# Shared helpers
+# =====================================================================
+
+
+def _render_chain(node: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _own_body(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested function scopes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _format_call_chain(chain: Sequence[str]) -> str:
+    return " -> ".join(chain)
+
+
+def _is_zone_module(project: Project, dotted: str, zones: Sequence[str]) -> bool:
+    for zone in zones:
+        if dotted == zone or dotted.startswith(zone + "."):
+            return True
+    module = project.modules.get(dotted)
+    if module is not None and module.attribute(ZONE_MARKER) is True:
+        return True
+    return False
+
+
+# =====================================================================
+# REP011 — determinism taint
+# =====================================================================
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceSite:
+    """One direct nondeterminism source inside a function body."""
+
+    kind: str
+    detail: str
+    qname: str
+    relpath: str
+    lineno: int
+    col: int
+
+
+@dataclasses.dataclass(frozen=True)
+class TaintFinding:
+    """A zone function that can reach a nondeterminism source."""
+
+    function: FunctionInfo
+    chain: Tuple[str, ...]  # zone function first, source's function last
+    source: SourceSite
+
+    @property
+    def message(self) -> str:
+        route = (
+            f" via {_format_call_chain(self.chain)}" if len(self.chain) > 1 else ""
+        )
+        return (
+            f"deterministic-zone function {self.function.qname} reaches "
+            f"{self.source.detail} in {self.source.qname}{route} — inject the "
+            "value (clock/rng/order) as a parameter or sort before iterating"
+        )
+
+
+_WALL_CLOCK_TIME = {"time", "time_ns", "ctime", "localtime", "gmtime", "strftime"}
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today", "fromtimestamp"}
+#: Callables that consume an iterable order-insensitively; a set flowing
+#: into these is not an ordering hazard.
+_ORDER_INSENSITIVE = {
+    "sorted", "sum", "len", "min", "max", "any", "all", "set", "frozenset",
+}
+#: Callables whose output exposes the iteration order of their argument.
+_ORDER_SENSITIVE = {"list", "tuple", "iter", "enumerate", "reversed"}
+_SET_ANNOTATIONS = {"set", "Set", "frozenset", "FrozenSet", "AbstractSet", "MutableSet"}
+_SET_METHODS = {
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+}
+
+
+class DeterminismTaint:
+    """Backward taint propagation from nondeterminism sources into zones."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        zones: Sequence[str] = DETERMINISTIC_ZONES,
+        boundaries: Sequence[str] = TAINT_BOUNDARY_MODULES,
+    ) -> None:
+        self.graph = graph
+        self.project = graph.project
+        self.zones = tuple(zones)
+        self.boundaries = tuple(boundaries)
+
+    # ------------------------------------------------------- source scanning
+
+    def direct_sources(self, info: FunctionInfo) -> List[SourceSite]:
+        sources: List[SourceSite] = []
+        module = info.module
+        parents: Dict[ast.AST, ast.AST] = {}
+        body = list(_own_body(info.node))
+        for node in body:
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        set_locals = self._set_typed_locals(info)
+        for node in body:
+            if isinstance(node, ast.Call):
+                source = self._call_source(node, module)
+                if source is not None:
+                    kind, detail = source
+                    sources.append(
+                        SourceSite(
+                            kind, detail, info.qname, info.relpath,
+                            node.lineno, node.col_offset,
+                        )
+                    )
+                # list(s) / iter(s) / enumerate(s) over a set value.
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE
+                    and node.args
+                    and self._is_set_valued(node.args[0], set_locals)
+                ):
+                    sources.append(
+                        SourceSite(
+                            "set-order",
+                            f"{node.func.id}() over a set (unordered)",
+                            info.qname, info.relpath,
+                            node.lineno, node.col_offset,
+                        )
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_valued(node.iter, set_locals):
+                    sources.append(
+                        SourceSite(
+                            "set-order", "for-loop over a set (unordered)",
+                            info.qname, info.relpath,
+                            node.iter.lineno, node.iter.col_offset,
+                        )
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                if any(
+                    self._is_set_valued(gen.iter, set_locals)
+                    for gen in node.generators
+                ):
+                    parent = parents.get(node)
+                    if (
+                        isinstance(node, ast.GeneratorExp)
+                        and isinstance(parent, ast.Call)
+                        and isinstance(parent.func, ast.Name)
+                        and parent.func.id in _ORDER_INSENSITIVE
+                    ):
+                        continue
+                    sources.append(
+                        SourceSite(
+                            "set-order", "comprehension over a set (unordered)",
+                            info.qname, info.relpath,
+                            node.lineno, node.col_offset,
+                        )
+                    )
+        return sources
+
+    def _call_source(
+        self, node: ast.Call, module: object
+    ) -> Optional[Tuple[str, str]]:
+        imports: Dict[str, str] = module.imports  # type: ignore[attr-defined]
+        if isinstance(node.func, ast.Name):
+            if node.func.id == "id":
+                return ("id", "id() (interpreter address, varies per run)")
+            origin = imports.get(node.func.id)
+            if origin == "time.time":
+                return ("wall-clock", "wall-clock read time.time()")
+            if origin in ("datetime.datetime.now", "datetime.datetime.utcnow"):
+                return ("wall-clock", f"wall-clock read {origin}()")
+            if origin == "os.urandom":
+                return ("entropy", "os.urandom() (OS entropy)")
+            if origin is not None and origin.startswith("uuid.uuid"):
+                return ("entropy", f"{origin}() (entropy-derived)")
+            if origin is not None and origin.startswith("secrets."):
+                return ("entropy", f"{origin}() (OS entropy)")
+            return None
+        chain = _render_chain(node.func)
+        if chain is None:
+            return None
+        parts = chain.split(".")
+        head, tail = parts[0], parts[-1]
+        origin = imports.get(head, head)
+        full = ".".join([origin] + parts[1:])
+        if origin == "time" and tail in _WALL_CLOCK_TIME:
+            return ("wall-clock", f"wall-clock read time.{tail}()")
+        if origin in ("datetime", "datetime.datetime", "datetime.date"):
+            if tail in _WALL_CLOCK_DATETIME:
+                return ("wall-clock", f"wall-clock read {origin}.{tail}()")
+        if origin == "os" and tail == "urandom":
+            return ("entropy", "os.urandom() (OS entropy)")
+        if origin == "uuid" and tail.startswith("uuid"):
+            return ("entropy", f"uuid.{tail}() (entropy-derived)")
+        if origin == "secrets":
+            return ("entropy", f"secrets.{tail}() (OS entropy)")
+        if origin == "random" and len(parts) > 1:
+            return ("global-rng", f"stdlib random.{tail}() (hidden global state)")
+        if full.startswith("numpy.random.") or chain.startswith("np.random."):
+            suffix = full.split("random.", 1)[1] if "random." in full else tail
+            return (
+                "global-rng",
+                f"numpy.random.{suffix} (module-level RNG state)",
+            )
+        return None
+
+    def _set_typed_locals(self, info: FunctionInfo) -> Set[str]:
+        names: Set[str] = set()
+        arguments = getattr(info.node, "args", None)
+        if arguments is not None:
+            for arg in (
+                list(arguments.posonlyargs)
+                + list(arguments.args)
+                + list(arguments.kwonlyargs)
+            ):
+                if arg.annotation is not None:
+                    chain = _render_chain(
+                        arg.annotation.value
+                        if isinstance(arg.annotation, ast.Subscript)
+                        else arg.annotation
+                    )
+                    if chain and chain.split(".")[-1] in _SET_ANNOTATIONS:
+                        names.add(arg.arg)
+        for node in _own_body(info.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                if self._is_set_valued(node.value, names):
+                    names.add(node.targets[0].id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                chain = _render_chain(
+                    node.annotation.value
+                    if isinstance(node.annotation, ast.Subscript)
+                    else node.annotation
+                )
+                if chain and chain.split(".")[-1] in _SET_ANNOTATIONS:
+                    names.add(node.target.id)
+        return names
+
+    def _is_set_valued(self, node: ast.expr, set_locals: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_locals
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "set", "frozenset"
+            ):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+                and self._is_set_valued(node.func.value, set_locals)
+            ):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_valued(node.left, set_locals) or self._is_set_valued(
+                node.right, set_locals
+            )
+        return False
+
+    # ----------------------------------------------------------- propagation
+
+    def _is_boundary(self, qname: str) -> bool:
+        for module in self.boundaries:
+            if qname == module or qname.startswith(module + "."):
+                return True
+        return False
+
+    def run(self) -> List[TaintFinding]:
+        """Propagate taint to callers; report minimal zone frontier."""
+        # taint[q] = (source, next hop toward it or None when q contains it)
+        taint: Dict[str, Tuple[SourceSite, Optional[str]]] = {}
+        queue: List[str] = []
+        for qname, info in self.project.functions.items():
+            if self._is_boundary(qname):
+                continue
+            sources = self.direct_sources(info)
+            if sources:
+                # Deterministic pick: first by position.
+                best = min(sources, key=lambda s: (s.lineno, s.col, s.kind))
+                taint[qname] = (best, None)
+                queue.append(qname)
+        # BFS up the caller edges (shortest chains win, FIFO).
+        head = 0
+        while head < len(queue):
+            current = queue[head]
+            head += 1
+            source, _ = taint[current]
+            for caller, _site in self.graph.callers.get(current, ()):
+                if caller in taint or self._is_boundary(caller):
+                    continue
+                taint[caller] = (source, current)
+                queue.append(caller)
+
+        zone_tainted: Set[str] = set()
+        for qname in taint:
+            info = self.project.functions.get(qname)
+            if info is not None and _is_zone_module(
+                self.project, info.module.dotted, self.zones
+            ):
+                zone_tainted.add(qname)
+
+        findings: List[TaintFinding] = []
+        for qname in sorted(zone_tainted):
+            source, next_hop = taint[qname]
+            if next_hop is not None and next_hop in zone_tainted:
+                continue  # a zone function closer to the source reports it
+            chain = [qname]
+            hop = next_hop
+            while hop is not None:
+                chain.append(hop)
+                hop = taint[hop][1]
+            findings.append(
+                TaintFinding(
+                    function=self.project.functions[qname],
+                    chain=tuple(chain),
+                    source=source,
+                )
+            )
+        return findings
+
+
+# =====================================================================
+# REP012 — static lock order
+# =====================================================================
+
+
+@dataclasses.dataclass(frozen=True)
+class LockAcquisition:
+    """One statically visible lock acquisition site."""
+
+    key: str  # aggregation key: level name when ranked, else owner.attr
+    level: str  # human label
+    rank: Optional[int]
+    qname: str
+    relpath: str
+    lineno: int
+    col: int
+
+
+@dataclasses.dataclass(frozen=True)
+class LockFinding:
+    """An inversion edge or a cycle in the inferred acquisition graph."""
+
+    kind: str  # "inversion" | "cycle"
+    held: LockAcquisition
+    acquired: LockAcquisition
+    chain: Tuple[str, ...]
+    cycle: Tuple[str, ...] = ()
+
+    @property
+    def message(self) -> str:
+        if self.kind == "cycle":
+            return (
+                "lock acquisition cycle "
+                + " -> ".join(self.cycle)
+                + f" (edge {self.held.level} -> {self.acquired.level} via "
+                + _format_call_chain(self.chain)
+                + ") — a latent deadlock even if no schedule has hit it yet"
+            )
+        return (
+            f"acquires {self.acquired.level!r} while holding {self.held.level!r} "
+            f"via {_format_call_chain(self.chain)} — declared order is "
+            + " -> ".join(LOCK_HIERARCHY)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class _LockEdge:
+    held: LockAcquisition
+    acquired: LockAcquisition
+    chain: Tuple[str, ...]
+    intra: bool  # entirely within one function (REP007's territory)
+
+
+class LockOrderAnalysis:
+    """Infer the cross-function lock graph and check it against the hierarchy."""
+
+    #: Call-edge kinds followed while a lock is held.  ``ref``/``partial``
+    #: references registered under a lock typically execute later, outside
+    #: it, and would flood the graph with false edges.
+    FOLLOWED_KINDS = ("call", "method", "nested")
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.project = graph.project
+
+    # -------------------------------------------------------- per-function
+
+    def _resolve_lock(
+        self, expr: ast.expr, info: FunctionInfo
+    ) -> Optional[Tuple[str, str, Optional[int]]]:
+        """Resolve a ``with`` context expression to (key, level, rank)."""
+        if isinstance(expr, ast.Name):
+            ranked = STATIC_LOCK_MAP.get((None, expr.id))
+            if ranked is not None:
+                rank, level = ranked
+                return (level, level, rank)
+            dotted = info.module.dotted
+            if (dotted, expr.id) in self.project.module_locks:
+                key = f"{dotted}.{expr.id}" if dotted else expr.id
+                return (key, key, None)
+            return None
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id in ("self", "cls")
+            and info.class_qname is not None
+        ):
+            klass = self.project.classes.get(info.class_qname)
+            short = klass.name if klass is not None else None
+            if short is not None:
+                ranked = STATIC_LOCK_MAP.get((short, expr.attr))
+                if ranked is not None:
+                    rank, level = ranked
+                    return (level, level, rank)
+            owner = self.project.lock_attr_owner(info.class_qname, expr.attr)
+            if owner is not None:
+                key = f"{owner.qname}.{expr.attr}"
+                return (key, key, None)
+        return None
+
+    def _function_acquisitions(
+        self, info: FunctionInfo
+    ) -> Tuple[List[LockAcquisition], List[_LockEdge], List[Tuple[LockAcquisition, Tuple[int, int]]]]:
+        """(direct acquisitions, intra-function edges, calls-under-lock).
+
+        The third element pairs each acquisition with the positions of
+        call expressions lexically inside its ``with`` body.
+        """
+        acquisitions: List[LockAcquisition] = []
+        intra: List[_LockEdge] = []
+        under: List[Tuple[LockAcquisition, Tuple[int, int]]] = []
+
+        def walk(node: ast.AST, held: List[LockAcquisition]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    acquired_here: List[LockAcquisition] = []
+                    for item in child.items:
+                        resolved = self._resolve_lock(item.context_expr, info)
+                        if resolved is None:
+                            continue
+                        key, level, rank = resolved
+                        acq = LockAcquisition(
+                            key=key, level=level, rank=rank, qname=info.qname,
+                            relpath=info.relpath,
+                            lineno=item.context_expr.lineno,
+                            col=item.context_expr.col_offset,
+                        )
+                        acquisitions.append(acq)
+                        for holder in held + acquired_here:
+                            if holder.key != acq.key:
+                                intra.append(
+                                    _LockEdge(
+                                        held=holder, acquired=acq,
+                                        chain=(info.qname,), intra=True,
+                                    )
+                                )
+                        acquired_here.append(acq)
+                    walk(child, held + acquired_here)
+                else:
+                    if isinstance(child, ast.Call) and held:
+                        position = (child.lineno, child.col_offset)
+                        for holder in held:
+                            under.append((holder, position))
+                    walk(child, held)
+
+        walk(info.node, [])
+        return acquisitions, intra, under
+
+    # -------------------------------------------------------------- fixpoint
+
+    def run(self) -> List[LockFinding]:
+        project = self.project
+        per_function: Dict[str, Tuple[List[LockAcquisition], List[_LockEdge], List[Tuple[LockAcquisition, Tuple[int, int]]]]] = {}
+        for qname, info in project.functions.items():
+            per_function[qname] = self._function_acquisitions(info)
+
+        # acquires*[q]: key -> (acquisition, chain of qnames from q to it).
+        closure: Dict[str, Dict[str, Tuple[LockAcquisition, Tuple[str, ...]]]] = {
+            qname: {
+                acq.key: (acq, (qname,))
+                for acq in per_function[qname][0]
+            }
+            for qname in project.functions
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qname in project.functions:
+                mine = closure[qname]
+                for site in self.graph.edges.get(qname, ()):
+                    if site.kind not in self.FOLLOWED_KINDS:
+                        continue
+                    for key, (acq, chain) in closure.get(site.callee, {}).items():
+                        if key not in mine:
+                            mine[key] = (acq, (qname,) + chain)
+                            changed = True
+
+        # Edge construction: lock held at a with-site, call under it leads
+        # to any acquisition in the callee's closure.
+        edges: List[_LockEdge] = []
+        for qname in project.functions:
+            _, intra, under = per_function[qname]
+            edges.extend(intra)
+            if not under:
+                continue
+            # call position -> callee qnames (only followed kinds).
+            by_position: Dict[Tuple[int, int], List[str]] = {}
+            for site in self.graph.edges.get(qname, ()):
+                if site.kind in self.FOLLOWED_KINDS:
+                    by_position.setdefault((site.lineno, site.col), []).append(
+                        site.callee
+                    )
+            for holder, position in under:
+                for callee in by_position.get(position, ()):
+                    for key, (acq, chain) in closure.get(callee, {}).items():
+                        if key == holder.key:
+                            continue  # reentrant same-level acquisition
+                        edges.append(
+                            _LockEdge(
+                                held=holder, acquired=acq,
+                                chain=(qname,) + chain, intra=False,
+                            )
+                        )
+
+        findings: List[LockFinding] = []
+        seen: Set[Tuple[str, str, Tuple[str, ...]]] = set()
+        adjacency: Dict[str, Dict[str, _LockEdge]] = {}
+        for edge in edges:
+            adjacency.setdefault(edge.held.key, {}).setdefault(
+                edge.acquired.key, edge
+            )
+            if edge.intra:
+                # Same-function nesting is REP007's job when both ranked;
+                # unranked/unordered pairs still feed the cycle check below.
+                continue
+            held_rank, acq_rank = edge.held.rank, edge.acquired.rank
+            if held_rank is not None and acq_rank is not None:
+                if held_rank >= acq_rank:
+                    dedup = (edge.held.key, edge.acquired.key, edge.chain)
+                    if dedup not in seen:
+                        seen.add(dedup)
+                        findings.append(
+                            LockFinding(
+                                kind="inversion", held=edge.held,
+                                acquired=edge.acquired, chain=edge.chain,
+                            )
+                        )
+
+        cycle = self._find_cycle(adjacency)
+        if cycle is not None:
+            nodes, first_edge = cycle
+            findings.append(
+                LockFinding(
+                    kind="cycle", held=first_edge.held,
+                    acquired=first_edge.acquired, chain=first_edge.chain,
+                    cycle=tuple(nodes),
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _find_cycle(
+        adjacency: Dict[str, Dict[str, _LockEdge]]
+    ) -> Optional[Tuple[List[str], _LockEdge]]:
+        visiting: Set[str] = set()
+        done: Set[str] = set()
+        path: List[str] = []
+
+        def visit(node: str) -> Optional[List[str]]:
+            if node in done:
+                return None
+            if node in visiting:
+                return path[path.index(node):] + [node]
+            visiting.add(node)
+            path.append(node)
+            for neighbour in sorted(adjacency.get(node, {})):
+                found = visit(neighbour)
+                if found is not None:
+                    return found
+            path.pop()
+            visiting.discard(node)
+            done.add(node)
+            return None
+
+        for start in sorted(adjacency):
+            found = visit(start)
+            if found is not None:
+                edge = adjacency[found[0]][found[1]]
+                return found, edge
+        return None
+
+
+# =====================================================================
+# REP013 — exception contracts
+# =====================================================================
+
+#: Exceptions any function may raise without declaring them: protocol
+#: obligations and unreachable-code guards, mirroring REP003's exemptions.
+ALWAYS_ALLOWED_EXCEPTIONS: FrozenSet[str] = frozenset(
+    {
+        "NotImplementedError",
+        "AssertionError",
+        "StopIteration",
+        "StopAsyncIteration",
+        "KeyboardInterrupt",
+        "SystemExit",
+        "AttributeError",  # __getattr__ protocol shims
+    }
+)
+
+#: Minimal builtin exception hierarchy for subclass checks (enough to
+#: evaluate ``except Exception`` / ``except LookupError`` handlers and the
+#: taxonomy's builtin bases).
+_BUILTIN_BASES: Dict[str, Tuple[str, ...]] = {
+    "Exception": ("BaseException",),
+    "ArithmeticError": ("Exception",),
+    "AssertionError": ("Exception",),
+    "AttributeError": ("Exception",),
+    "EOFError": ("Exception",),
+    "FileExistsError": ("OSError",),
+    "FileNotFoundError": ("OSError",),
+    "IOError": ("OSError",),
+    "ImportError": ("Exception",),
+    "IndexError": ("LookupError",),
+    "InterruptedError": ("OSError",),
+    "KeyError": ("LookupError",),
+    "KeyboardInterrupt": ("BaseException",),
+    "LookupError": ("Exception",),
+    "MemoryError": ("Exception",),
+    "NotImplementedError": ("RuntimeError",),
+    "OSError": ("Exception",),
+    "OverflowError": ("ArithmeticError",),
+    "PermissionError": ("OSError",),
+    "RecursionError": ("RuntimeError",),
+    "RuntimeError": ("Exception",),
+    "StopAsyncIteration": ("Exception",),
+    "StopIteration": ("Exception",),
+    "SystemExit": ("BaseException",),
+    "TimeoutError": ("OSError",),
+    "TypeError": ("Exception",),
+    "UnicodeDecodeError": ("ValueError",),
+    "UnicodeEncodeError": ("ValueError",),
+    "ValueError": ("Exception",),
+    "ZeroDivisionError": ("ArithmeticError",),
+}
+
+#: Contract table for the library's public entry points, seeded from the
+#: repro.exceptions taxonomy: every path from these functions may raise
+#: only the listed roots (plus :data:`ALWAYS_ALLOWED_EXCEPTIONS`).  A new
+#: bare ``ValueError`` three calls deep fails lint here even though the
+#: per-file REP003 cannot see across the call.
+DEFAULT_EXCEPTION_CONTRACTS: Dict[str, Tuple[str, ...]] = {
+    "repro.api.run_experiment": ("ReproError",),
+    "repro.api.build_estimator": ("ReproError",),
+    "repro.serving.service.InfluenceService.get_index": ("ReproError",),
+    "repro.serving.service.InfluenceService.evaluate": ("ReproError",),
+    "repro.serving.service.InfluenceService.evaluate_many": ("ReproError",),
+    "repro.serving.service.InfluenceService.select": ("ReproError",),
+    "repro.serving.service.InfluenceService.hot_swap": ("ReproError",),
+    "repro.serving.index.InfluenceIndex.build": ("ReproError",),
+    "repro.serving.index.InfluenceIndex.grow": ("ReproError",),
+    "repro.serving.index.InfluenceIndex.select": ("ReproError",),
+    "repro.serving.index.InfluenceIndex.evaluate": ("ReproError",),
+    "repro.serving.artifact.load_index_artifact": ("ReproError",),
+    "repro.serving.artifact.save_index_artifact": ("ReproError",),
+    "repro.runtime.pool.SupervisedPool.run": ("ReproError",),
+    "repro.scoring.engine.ScoreEngine.mark_active": ("ReproError",),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class RaiseSite:
+    exception: str
+    qname: str
+    relpath: str
+    lineno: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ContractFinding:
+    """A contracted entry point that can leak an undeclared exception."""
+
+    function: FunctionInfo
+    exception: str
+    site: RaiseSite
+    chain: Tuple[str, ...]
+    allowed: Tuple[str, ...]
+
+    @property
+    def message(self) -> str:
+        route = (
+            f" via {_format_call_chain(self.chain)}" if len(self.chain) > 1 else ""
+        )
+        return (
+            f"{self.function.qname} can raise {self.exception} (raised in "
+            f"{self.site.qname}{route}) but its contract only allows "
+            + "/".join(self.allowed)
+            + " — catch-and-wrap at the boundary, or extend the declared "
+            "contract"
+        )
+
+
+class ExceptionTaxonomy:
+    """Subclass relation over project exception classes + builtins."""
+
+    def __init__(self, project: Project) -> None:
+        self._bases: Dict[str, Tuple[str, ...]] = dict(_BUILTIN_BASES)
+        for info in project.classes.values():
+            bases = tuple(base.split(".")[-1] for base in info.bases)
+            if bases:
+                self._bases[info.name] = bases
+
+    def ancestors(self, name: str) -> Set[str]:
+        seen: Set[str] = set()
+        queue = [name]
+        while queue:
+            current = queue.pop()
+            for base in self._bases.get(current, ()):
+                if base not in seen:
+                    seen.add(base)
+                    queue.append(base)
+        return seen
+
+    def is_subclass(self, name: str, base: str) -> bool:
+        return name == base or base in self.ancestors(name)
+
+    def caught_by(self, exception: str, handlers: FrozenSet[str]) -> bool:
+        for handler in sorted(handlers):
+            if handler in ("Exception", "BaseException"):
+                return True
+            if self.is_subclass(exception, handler):
+                return True
+        return False
+
+
+class ExceptionContractAnalysis:
+    """Compute raisable sets through the call graph; check contracts."""
+
+    FOLLOWED_KINDS = ("call", "method", "nested", "partial", "ref")
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        contracts: Optional[Dict[str, Tuple[str, ...]]] = None,
+    ) -> None:
+        self.graph = graph
+        self.project = graph.project
+        self.taxonomy = ExceptionTaxonomy(graph.project)
+        merged: Dict[str, Tuple[str, ...]] = dict(
+            contracts if contracts is not None else DEFAULT_EXCEPTION_CONTRACTS
+        )
+        for dotted, module in graph.project.modules.items():
+            declared = module.attribute(CONTRACT_MARKER)
+            if isinstance(declared, dict):
+                for name, allowed in declared.items():
+                    if isinstance(allowed, (list, tuple)):
+                        qname = f"{dotted}.{name}" if dotted else str(name)
+                        merged[qname] = tuple(str(a) for a in allowed)
+        self.contracts = merged
+
+    # -------------------------------------------------------- per-function
+
+    def _direct_facts(
+        self, info: FunctionInfo
+    ) -> Tuple[List[Tuple[str, RaiseSite, FrozenSet[str]]], Dict[Tuple[int, int], FrozenSet[str]]]:
+        """(direct raises with their handler context, call-site handler map)."""
+        raises: List[Tuple[str, RaiseSite, FrozenSet[str]]] = []
+        call_handlers: Dict[Tuple[int, int], FrozenSet[str]] = {}
+        module = info.module
+
+        def handler_names(handler: ast.ExceptHandler) -> List[str]:
+            if handler.type is None:
+                return ["BaseException"]
+            types = (
+                list(handler.type.elts)
+                if isinstance(handler.type, ast.Tuple)
+                else [handler.type]
+            )
+            names: List[str] = []
+            for node in types:
+                chain = _render_chain(node)
+                if chain is not None:
+                    names.append(chain.split(".")[-1])
+            return names
+
+        def walk(node: ast.AST, caught: FrozenSet[str]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                if isinstance(child, ast.Try):
+                    names: Set[str] = set()
+                    for handler in child.handlers:
+                        names.update(handler_names(handler))
+                    inner = caught | frozenset(names)
+                    for stmt in child.body:
+                        walk_stmt(stmt, inner)
+                    for handler in child.handlers:
+                        walk(handler, caught)
+                    for stmt in child.orelse + child.finalbody:
+                        walk_stmt(stmt, caught)
+                    continue
+                if isinstance(child, ast.Raise) and child.exc is not None:
+                    exc = child.exc
+                    if isinstance(exc, ast.Call):
+                        exc = exc.func
+                    chain = _render_chain(exc)
+                    if chain is not None:
+                        name = chain.split(".")[-1]
+                        origin = module.imports.get(chain.split(".")[0])
+                        if origin is not None and "." not in chain:
+                            name = origin.split(".")[-1]
+                        if name[:1].isupper():
+                            raises.append(
+                                (
+                                    name,
+                                    RaiseSite(
+                                        name, info.qname, info.relpath,
+                                        child.lineno,
+                                    ),
+                                    caught,
+                                )
+                            )
+                if isinstance(child, ast.Call):
+                    call_handlers.setdefault(
+                        (child.lineno, child.col_offset), caught
+                    )
+                walk(child, caught)
+
+        def walk_stmt(stmt: ast.stmt, caught: FrozenSet[str]) -> None:
+            # The statement itself plus its subtree, under ``caught``.
+            if isinstance(stmt, ast.Raise) and stmt.exc is not None:
+                exc = stmt.exc
+                if isinstance(exc, ast.Call):
+                    exc = exc.func
+                chain = _render_chain(exc)
+                if chain is not None:
+                    name = chain.split(".")[-1]
+                    if name[:1].isupper():
+                        raises.append(
+                            (
+                                name,
+                                RaiseSite(
+                                    name, info.qname, info.relpath, stmt.lineno
+                                ),
+                                caught,
+                            )
+                        )
+            if isinstance(stmt, ast.Call):
+                call_handlers.setdefault(
+                    (stmt.lineno, stmt.col_offset), caught
+                )
+            walk(stmt, caught)
+
+        walk(info.node, frozenset())
+        return raises, call_handlers
+
+    # -------------------------------------------------------------- fixpoint
+
+    def run(self) -> List[ContractFinding]:
+        project = self.project
+        direct: Dict[str, List[Tuple[str, RaiseSite, FrozenSet[str]]]] = {}
+        handlers_at: Dict[str, Dict[Tuple[int, int], FrozenSet[str]]] = {}
+        for qname, info in project.functions.items():
+            raises, call_handlers = self._direct_facts(info)
+            direct[qname] = raises
+            handlers_at[qname] = call_handlers
+
+        # raisable[q]: exc -> (site, next hop or None)
+        raisable: Dict[str, Dict[str, Tuple[RaiseSite, Optional[str]]]] = {
+            qname: {} for qname in project.functions
+        }
+        for qname, facts in direct.items():
+            for name, site, caught in facts:
+                if self.taxonomy.caught_by(name, caught):
+                    continue
+                raisable[qname].setdefault(name, (site, None))
+
+        changed = True
+        while changed:
+            changed = False
+            for qname in project.functions:
+                mine = raisable[qname]
+                my_handlers = handlers_at[qname]
+                for call_site in self.graph.edges.get(qname, ()):
+                    if call_site.kind not in self.FOLLOWED_KINDS:
+                        continue
+                    caught = my_handlers.get(
+                        (call_site.lineno, call_site.col), frozenset()
+                    )
+                    for name, (site, _hop) in raisable.get(
+                        call_site.callee, {}
+                    ).items():
+                        if name in mine:
+                            continue
+                        if self.taxonomy.caught_by(name, caught):
+                            continue
+                        mine[name] = (site, call_site.callee)
+                        changed = True
+
+        findings: List[ContractFinding] = []
+        for qname, allowed in sorted(self.contracts.items()):
+            info = project.functions.get(qname)
+            if info is None:
+                continue
+            effective = tuple(allowed)
+            for name, (site, hop) in sorted(raisable.get(qname, {}).items()):
+                if name in ALWAYS_ALLOWED_EXCEPTIONS:
+                    continue
+                if any(
+                    self.taxonomy.is_subclass(name, base) for base in effective
+                ):
+                    continue
+                chain = [qname]
+                current = hop
+                while current is not None:
+                    chain.append(current)
+                    current = raisable[current].get(name, (None, None))[1]
+                findings.append(
+                    ContractFinding(
+                        function=info, exception=name, site=site,
+                        chain=tuple(chain), allowed=effective,
+                    )
+                )
+        return findings

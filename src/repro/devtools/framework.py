@@ -32,8 +32,9 @@ import dataclasses
 import json
 import pathlib
 import re
+import time
 import tokenize
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Type
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Type, Union
 
 from repro.exceptions import LintError
 
@@ -42,6 +43,8 @@ __all__ = [
     "Finding",
     "LintReport",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "get_rule",
@@ -98,12 +101,18 @@ class ModuleContext:
     used by rules that scope themselves to parts of the package.
     """
 
-    def __init__(self, path: pathlib.Path, relpath: str, source: str) -> None:
+    def __init__(
+        self,
+        path: pathlib.Path,
+        relpath: str,
+        source: str,
+        tree: Optional[ast.Module] = None,
+    ) -> None:
         self.path = path
         self.relpath = relpath
         self.source = source
         self.lines = source.splitlines()
-        self.tree = ast.parse(source, filename=str(path))
+        self.tree = tree if tree is not None else ast.parse(source, filename=str(path))
         self.dotted = _dotted_name(relpath)
 
     def line_text(self, line: int) -> str:
@@ -159,6 +168,59 @@ class Rule:
             path=module.relpath,
             line=getattr(node, "lineno", 1),
             column=getattr(node, "col_offset", 0) + 1,
+            rule=self.code,
+            message=message,
+        )
+
+
+class ProjectContext:
+    """Whole-program view handed to :class:`ProjectRule` checks.
+
+    Built once per lint run from the same parsed trees the per-file rules
+    saw (one parse per file, via the mtime-keyed AST cache), so the
+    cross-module pass adds call-graph construction and fixpoint time but
+    no re-parsing.
+    """
+
+    def __init__(self, project: object, graph: object) -> None:
+        # Typed as object to keep framework <-> callgraph import lazy;
+        # concrete types are callgraph.Project / callgraph.CallGraph.
+        self.project = project
+        self.graph = graph
+
+    @classmethod
+    def build(
+        cls, entries: Sequence[Tuple[pathlib.Path, str, ast.Module]]
+    ) -> "ProjectContext":
+        from repro.devtools.callgraph import CallGraph, Project
+
+        project = Project.build([(str(p), rel, tree) for p, rel, tree in entries])
+        return cls(project, CallGraph.build(project))
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole project, not one module at a time.
+
+    Subclasses implement :meth:`check_project` instead of :meth:`check`;
+    the driver runs them once after the per-file pass, against the call
+    graph built from the same ASTs.  Findings still carry a (path, line)
+    anchor and respect ``# repro: noqa[REPxxx]`` on that line, and their
+    fingerprints feed the same baseline.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, context: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self, relpath: str, line: int, column: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=relpath.replace("\\", "/"),
+            line=line,
+            column=column + 1,
             rule=self.code,
             message=message,
         )
@@ -250,13 +312,20 @@ def _suppressed_lines(source: str, path: pathlib.Path) -> Dict[int, set]:
 
 @dataclasses.dataclass
 class LintReport:
-    """Outcome of one lint run: surviving findings plus bookkeeping."""
+    """Outcome of one lint run: surviving findings plus bookkeeping.
+
+    ``timings`` records wall seconds per phase (``per_file`` for the
+    one-module-at-a-time rules, ``project`` for the whole-program pass) so
+    the CI time-budget check reads the engine's own numbers instead of
+    wrapping the process in ``time``.
+    """
 
     findings: List[Finding]
     files_checked: int
     suppressed: int
     baselined: int
     stale_baseline: List[str]
+    timings: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -276,16 +345,28 @@ class Baseline:
 
         {"version": 1, "findings": {"<fingerprint>": <count>, ...}}
 
+    An entry's value may also be an object carrying a justification — the
+    required form for analysis-limitation false positives, so every
+    baselined finding says *why* it is allowed to stay::
+
+        {"<fingerprint>": {"count": 1, "justification": "why this is a FP"}}
+
     A finding whose fingerprint is in the baseline (up to its count) is
     reported as *baselined*, not failing; baseline entries that no longer
     match anything are reported as *stale* so paid-down debt is removed
-    from the file instead of lingering.
+    from the file instead of lingering.  Together with ``--diff-baseline``
+    failing on stale entries, the baseline can only ever shrink.
     """
 
     VERSION = 1
 
-    def __init__(self, counts: Optional[Mapping[str, int]] = None) -> None:
+    def __init__(
+        self,
+        counts: Optional[Mapping[str, int]] = None,
+        justifications: Optional[Mapping[str, str]] = None,
+    ) -> None:
         self.counts: Dict[str, int] = dict(counts or {})
+        self.justifications: Dict[str, str] = dict(justifications or {})
 
     @classmethod
     def load(cls, path: pathlib.Path) -> "Baseline":
@@ -304,27 +385,57 @@ class Baseline:
                 f"(expected version {cls.VERSION})"
             )
         findings = data.get("findings", {})
-        if not isinstance(findings, dict) or not all(
-            isinstance(count, int) and count > 0 for count in findings.values()
-        ):
-            raise LintError(
-                f"baseline file {path}: 'findings' must map fingerprints "
-                "to positive counts"
-            )
-        return cls(findings)
+        if not isinstance(findings, dict):
+            raise LintError(f"baseline file {path}: 'findings' must be a mapping")
+        counts: Dict[str, int] = {}
+        justifications: Dict[str, str] = {}
+        for key, value in findings.items():
+            if isinstance(value, int) and value > 0:
+                counts[key] = value
+            elif (
+                isinstance(value, dict)
+                and isinstance(value.get("count"), int)
+                and value["count"] > 0
+                and isinstance(value.get("justification"), str)
+                and value["justification"].strip()
+            ):
+                counts[key] = value["count"]
+                justifications[key] = value["justification"]
+            else:
+                raise LintError(
+                    f"baseline file {path}: entry {key!r} must be a positive "
+                    "count or {'count': N, 'justification': '...'} with a "
+                    "non-empty justification"
+                )
+        return cls(counts, justifications)
 
     @classmethod
-    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        justifications: Optional[Mapping[str, str]] = None,
+    ) -> "Baseline":
         counts: Dict[str, int] = {}
         for finding in findings:
             counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
-        return cls(counts)
+        kept = {
+            key: text
+            for key, text in (justifications or {}).items()
+            if key in counts
+        }
+        return cls(counts, kept)
 
     def save(self, path: pathlib.Path) -> None:
-        payload = {
-            "version": self.VERSION,
-            "findings": {key: self.counts[key] for key in sorted(self.counts)},
-        }
+        entries: Dict[str, Union[int, Dict[str, object]]] = {}
+        for key in sorted(self.counts):
+            if key in self.justifications:
+                entries[key] = {
+                    "count": self.counts[key],
+                    "justification": self.justifications[key],
+                }
+            else:
+                entries[key] = self.counts[key]
+        payload = {"version": self.VERSION, "findings": entries}
         path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
     def split(
@@ -345,21 +456,31 @@ class Baseline:
         return new, baselined, stale
 
 
+def _load_module(path: pathlib.Path, relpath: str) -> Tuple[ModuleContext, Dict[int, set]]:
+    """Read + parse one file (through the AST cache) with its noqa map."""
+    from repro.devtools.callgraph import parse_cached
+
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = parse_cached(path, source)
+    except SyntaxError as error:
+        raise LintError(f"{path}: cannot parse: {error}") from error
+    module = ModuleContext(path, relpath, source, tree=tree)
+    return module, _suppressed_lines(source, path)
+
+
 def lint_file(
     path: pathlib.Path,
     relpath: str,
     rules: Sequence[Rule],
 ) -> Tuple[List[Finding], int]:
-    """Lint one file; returns (surviving findings, suppressed count)."""
-    source = path.read_text(encoding="utf-8")
-    try:
-        module = ModuleContext(path, relpath, source)
-    except SyntaxError as error:
-        raise LintError(f"{path}: cannot parse: {error}") from error
-    suppressed_map = _suppressed_lines(source, path)
+    """Lint one file with the per-file rules; (findings, suppressed count)."""
+    module, suppressed_map = _load_module(path, relpath)
     findings: List[Finding] = []
     suppressed = 0
     for rule in rules:
+        if isinstance(rule, ProjectRule):
+            continue
         for finding in rule.check(module):
             if finding.rule in suppressed_map.get(finding.line, ()):
                 suppressed += 1
@@ -375,22 +496,51 @@ def run_lint(
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
 ) -> LintReport:
-    """Lint every Python file under ``paths`` with every registered rule."""
+    """Lint every Python file under ``paths`` with every registered rule.
+
+    Per-file rules run module by module; :class:`ProjectRule` instances
+    then run once against the whole-program context built from the very
+    same parsed trees.
+    """
     active = list(rules) if rules is not None else all_rules()
+    file_rules = [rule for rule in active if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in active if isinstance(rule, ProjectRule)]
     base = root or pathlib.Path.cwd()
     findings: List[Finding] = []
     suppressed = 0
     files = 0
+    entries: List[Tuple[pathlib.Path, str, ast.Module]] = []
+    suppressions: Dict[str, Dict[int, set]] = {}
+    started = time.perf_counter()
     for path in iter_source_files([pathlib.Path(p) for p in paths]):
         try:
             relpath = str(path.resolve().relative_to(base.resolve()))
         except ValueError:
             relpath = str(path)
         relpath = relpath.replace("\\", "/")
-        file_findings, file_suppressed = lint_file(path, relpath, active)
-        findings.extend(file_findings)
-        suppressed += file_suppressed
+        module, suppressed_map = _load_module(path, relpath)
+        entries.append((path, relpath, module.tree))
+        suppressions[relpath] = suppressed_map
+        for rule in file_rules:
+            for finding in rule.check(module):
+                if finding.rule in suppressed_map.get(finding.line, ()):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
         files += 1
+    per_file_seconds = time.perf_counter() - started
+    project_seconds = 0.0
+    if project_rules and entries:
+        started = time.perf_counter()
+        context = ProjectContext.build(entries)
+        for rule in project_rules:
+            for finding in rule.check_project(context):
+                noqa = suppressions.get(finding.path, {})
+                if finding.rule in noqa.get(finding.line, ()):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+        project_seconds = time.perf_counter() - started
     findings.sort()
     if baseline is not None:
         new, baselined, stale = baseline.split(findings)
@@ -402,6 +552,10 @@ def run_lint(
         suppressed=suppressed,
         baselined=baselined,
         stale_baseline=stale,
+        timings={
+            "per_file": round(per_file_seconds, 6),
+            "project": round(project_seconds, 6),
+        },
     )
 
 
@@ -424,6 +578,9 @@ def render_text(report: LintReport) -> str:
         f"{len(report.findings)} new, {report.baselined} baselined, "
         f"{report.suppressed} suppressed"
     )
+    if report.timings:
+        total = sum(report.timings.values())
+        summary += f" in {total:.2f}s"
     lines.append(summary + (" — OK" if report.ok else ""))
     return "\n".join(lines)
 
@@ -438,6 +595,7 @@ def render_json(report: LintReport) -> str:
         "baselined": report.baselined,
         "stale_baseline": list(report.stale_baseline),
         "counts_by_rule": report.counts_by_rule(),
+        "timings": report.timings,
         "findings": [finding.to_dict() for finding in report.findings],
     }
     return json.dumps(payload, indent=2)

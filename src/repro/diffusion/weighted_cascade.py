@@ -14,6 +14,10 @@ from repro.diffusion.batch import wc_out_probabilities
 from repro.diffusion.independent_cascade import IndependentCascadeModel
 from repro.graphs.digraph import CompiledGraph
 
+# WC probabilities feed the RR-set sampler; opt this module into the
+# REP011 determinism-taint zone (see repro.devtools.flow).
+__repro_deterministic__ = True
+
 
 class WeightedCascadeModel(IndependentCascadeModel):
     """IC with ``p_(u,v) = 1 / in_degree(v)``."""
@@ -21,7 +25,10 @@ class WeightedCascadeModel(IndependentCascadeModel):
     name = "wc"
 
     def __init__(self) -> None:
-        self._cache_graph_id: int | None = None
+        # Hold the graph itself, not id(graph): ids are recycled after GC,
+        # so an id-keyed cache can serve stale probabilities to a new graph
+        # allocated at the same address.
+        self._cache_graph: CompiledGraph | None = None
         self._cache_probabilities: np.ndarray | None = None
 
     def edge_probabilities(self, graph: CompiledGraph, node: int) -> np.ndarray:
@@ -33,9 +40,9 @@ class WeightedCascadeModel(IndependentCascadeModel):
 
     def _probabilities_for(self, graph: CompiledGraph) -> np.ndarray:
         """Edge-aligned WC probabilities, cached per compiled graph."""
-        if self._cache_graph_id == id(graph) and self._cache_probabilities is not None:
+        if self._cache_graph is graph and self._cache_probabilities is not None:
             return self._cache_probabilities
         probabilities = wc_out_probabilities(graph)
-        self._cache_graph_id = id(graph)
+        self._cache_graph = graph
         self._cache_probabilities = probabilities
         return probabilities

@@ -317,8 +317,11 @@ class DiGraph:
 
     def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
         """Return the subgraph induced on ``nodes`` (attributes copied)."""
-        keep = set(nodes)
-        missing = [node for node in keep if node not in self]
+        ordered = list(nodes)
+        keep = set(ordered)
+        # Report the first missing node in *input* order; iterating the set
+        # would pick one by hash-table layout, varying run to run.
+        missing = [node for node in ordered if node not in self]
         if missing:
             raise NodeNotFoundError(missing[0])
         sub = DiGraph(name=self.name)

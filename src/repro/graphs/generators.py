@@ -174,10 +174,16 @@ def barabasi_albert_graph(
             graph.add_edge(v, u, probability=probability)
             repeated_targets.extend((u, v))
     for new_node in range(attachment + 1, n):
-        chosen: set[int] = set()
+        # Record picks in draw order: iterating a set here would make edge
+        # insertion (and with it every later preferential draw) depend on
+        # hash-table layout instead of the seeded RNG alone.
+        chosen: list[int] = []
+        chosen_seen: set[int] = set()
         while len(chosen) < attachment:
             pick = repeated_targets[int(rng.integers(0, len(repeated_targets)))]
-            chosen.add(pick)
+            if pick not in chosen_seen:
+                chosen_seen.add(pick)
+                chosen.append(pick)
         for target in chosen:
             graph.add_edge(new_node, target, probability=probability)
             graph.add_edge(target, new_node, probability=probability)
@@ -260,7 +266,9 @@ def powerlaw_cluster_graph(
             graph.add_edge(u, v, probability=probability)
             graph.add_edge(v, u, probability=probability)
     for new_node in range(attachment, n):
-        targets: set[int] = set()
+        # Draw-order list, set for membership only — see barabasi_albert.
+        targets: list[int] = []
+        targets_seen: set[int] = set()
         last_target: Optional[int] = None
         while len(targets) < attachment:
             close_triangle = (
@@ -273,8 +281,9 @@ def powerlaw_cluster_graph(
                 pick = neighbors[int(rng.integers(0, len(neighbors)))]
             else:
                 pick = repeated_targets[int(rng.integers(0, len(repeated_targets)))]
-            if pick != new_node and pick not in targets:
-                targets.add(pick)
+            if pick != new_node and pick not in targets_seen:
+                targets_seen.add(pick)
+                targets.append(pick)
                 last_target = pick
         for target in targets:
             graph.add_edge(new_node, target, probability=probability)

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import multiprocessing.process
 import os
 import threading
 import time
@@ -85,7 +86,7 @@ _POLL_SECONDS = 0.05
 
 
 def _worker_main(
-    conn,
+    conn: multiprocessing.connection.Connection,
     slot: int,
     task_fn: Callable[[Any], Any],
     init_fn: Optional[Callable[..., None]],
@@ -167,7 +168,13 @@ class _WorkerHandle:
 
     __slots__ = ("process", "conn", "slot", "assigned", "last_seen")
 
-    def __init__(self, process, conn, slot: int, now: float) -> None:
+    def __init__(
+        self,
+        process: multiprocessing.process.BaseProcess,
+        conn: multiprocessing.connection.Connection,
+        slot: int,
+        now: float,
+    ) -> None:
         self.process = process
         self.conn = conn
         self.slot = slot
@@ -295,7 +302,7 @@ class SupervisedPool:
 
     # ------------------------------------------------------------ telemetry
 
-    def _metric(self, kind: str, name: str, help_text: str):
+    def _metric(self, kind: str, name: str, help_text: str) -> Optional[Any]:
         registry = default_registry()
         if registry is None:
             return None

@@ -1,0 +1,12 @@
+"""Fixture: nondeterminism sources in a declared deterministic zone (REP011 fires)."""
+__repro_deterministic__ = True
+
+
+def arbitrary_order(members: set) -> list:
+    # Materializing a set exposes hash-table iteration order.
+    return list(members)
+
+
+def cache_key(payload: object) -> int:
+    # id() is an interpreter address: different every run.
+    return id(payload)

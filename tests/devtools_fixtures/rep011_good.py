@@ -1,0 +1,14 @@
+"""Fixture: deterministic zone using order-insensitive set consumption (REP011 quiet)."""
+__repro_deterministic__ = True
+
+
+def stable_order(members: set) -> list:
+    return sorted(members)
+
+
+def total_weight(weights: set) -> float:
+    return sum(weight for weight in weights)
+
+
+def cache_key(payload: tuple) -> int:
+    return hash(payload)

@@ -1,0 +1,33 @@
+"""Fixture: cross-function lock-acquisition cycle (REP012 fires).
+
+Neither function nests both locks itself, so the per-file REP007 rule
+cannot see the inversion; only the call-graph closure exposes the cycle
+``Left._lock -> Right._lock -> Left._lock``.
+"""
+import threading
+
+
+class Left:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def ping(self, other: "Right") -> None:
+        with self._lock:
+            other.pong_locked()
+
+    def ping_locked(self) -> None:
+        with self._lock:
+            pass
+
+
+class Right:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def pong(self, other: "Left") -> None:
+        with self._lock:
+            other.ping_locked()
+
+    def pong_locked(self) -> None:
+        with self._lock:
+            pass

@@ -1,0 +1,23 @@
+"""Fixture: cross-function lock acquisitions in one consistent order (REP012 quiet)."""
+import threading
+
+
+class Outer:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def ping(self, other: "Inner") -> None:
+        with self._lock:
+            other.pong_locked()
+
+    def ping_unlocked(self, other: "Inner") -> None:
+        other.pong_locked()
+
+
+class Inner:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def pong_locked(self) -> None:
+        with self._lock:
+            pass

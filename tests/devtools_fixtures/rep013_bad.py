@@ -1,0 +1,26 @@
+"""Fixture: contracted entry point leaks an undeclared exception (REP013 fires).
+
+``entry`` never raises directly; the escape is one call deep, which the
+per-file taxonomy rule cannot see.
+"""
+
+
+class AllowedError(Exception):
+    pass
+
+
+class SneakyError(Exception):
+    pass
+
+
+__repro_exception_contract__ = {"entry": ["AllowedError"]}
+
+
+def _helper(flag: bool) -> int:
+    if flag:
+        raise SneakyError("deep failure the contract does not declare")
+    raise AllowedError("declared failure")
+
+
+def entry(flag: bool) -> int:
+    return _helper(flag)

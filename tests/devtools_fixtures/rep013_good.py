@@ -1,0 +1,25 @@
+"""Fixture: contracted entry point wraps undeclared escapes (REP013 quiet)."""
+
+
+class AllowedError(Exception):
+    pass
+
+
+class SneakyError(Exception):
+    pass
+
+
+__repro_exception_contract__ = {"entry": ["AllowedError"]}
+
+
+def _helper(flag: bool) -> int:
+    if flag:
+        raise SneakyError("deep failure")
+    raise AllowedError("declared failure")
+
+
+def entry(flag: bool) -> int:
+    try:
+        return _helper(flag)
+    except SneakyError as error:
+        raise AllowedError(str(error))
